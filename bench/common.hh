@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark harnesses.
+ *
+ * Every harness builds the paper's 16-node machine (Table 1 defaults),
+ * runs the six applications, and prints its table/figure in the
+ * paper's layout. Absolute values depend on the scaled-down inputs
+ * (see DESIGN.md); the comparisons between schemes are the result.
+ */
+
+#ifndef PSIM_BENCH_COMMON_HH
+#define PSIM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/driver.hh"
+
+namespace psim::bench
+{
+
+inline MachineConfig
+paperConfig(PrefetchScheme scheme = PrefetchScheme::None)
+{
+    MachineConfig cfg; // defaults are the paper's Table 1
+    cfg.prefetch.scheme = scheme;
+    return cfg;
+}
+
+/** Run one workload, asserting that it finished and verified. */
+inline apps::Run
+runChecked(const std::string &name, const MachineConfig &cfg,
+           const apps::RunOptions &opts = {})
+{
+    apps::Run run = apps::runWorkload(name, cfg, opts);
+    if (!run.finished)
+        psim_fatal("%s did not finish", name.c_str());
+    if (!run.verified)
+        psim_fatal("%s failed numerical verification", name.c_str());
+    return run;
+}
+
+/** Format the dominant strides like the paper: "1(93%), 65(42%)". */
+inline std::string
+dominantStrides(const StrideCharacterizer::Report &r, unsigned max_entries)
+{
+    std::string out;
+    unsigned shown = 0;
+    for (const auto &[stride, fraction] : r.topStrides) {
+        if (shown >= max_entries || fraction < 0.05)
+            break;
+        if (shown)
+            out += ", ";
+        out += std::to_string(stride) + "(" +
+               std::to_string(static_cast<int>(fraction * 100 + 0.5)) +
+               "%)";
+        ++shown;
+    }
+    if (out.empty())
+        out = "-";
+    return out;
+}
+
+inline void
+hr(unsigned width = 78)
+{
+    for (unsigned i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace psim::bench
+
+#endif // PSIM_BENCH_COMMON_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the prefetcher data structures
+ * and the simulation kernel: these bound the hardware-model cost per
+ * observed reference and document the relative complexity argument the
+ * paper makes (sequential << I-detection << D-detection).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/characterizer.hh"
+#include "core/ddet.hh"
+#include "core/idet.hh"
+#include "core/sequential.hh"
+#include "mem/cache_array.hh"
+#include "net/mesh.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+using namespace psim;
+
+namespace
+{
+
+/** A mixed reference stream: stride sequences with random interludes. */
+std::vector<ReadObservation>
+makeStream(std::size_t n)
+{
+    std::vector<ReadObservation> stream;
+    stream.reserve(n);
+    Rng rng(7);
+    Addr base = 1 << 20;
+    for (std::size_t i = 0; i < n; ++i) {
+        ReadObservation obs;
+        obs.pc = 0x1000 + (i % 7) * 4;
+        if (i % 11 == 0) {
+            obs.addr = base + rng.below(1 << 22);
+        } else {
+            obs.addr = base + static_cast<Addr>(i) * 32;
+        }
+        obs.hit = i % 3 == 0;
+        obs.taggedHit = obs.hit && (i % 6 == 0);
+        stream.push_back(obs);
+    }
+    return stream;
+}
+
+void
+BM_SequentialObserve(benchmark::State &state)
+{
+    auto stream = makeStream(4096);
+    SequentialPrefetcher p(32, 1);
+    std::vector<Addr> out;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        out.clear();
+        p.observeRead(stream[i++ % stream.size()], out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_SequentialObserve);
+
+void
+BM_IDetObserve(benchmark::State &state)
+{
+    auto stream = makeStream(4096);
+    IDetPrefetcher p(256, 1, 32);
+    std::vector<Addr> out;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        out.clear();
+        p.observeRead(stream[i++ % stream.size()], out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_IDetObserve);
+
+void
+BM_DDetObserve(benchmark::State &state)
+{
+    auto stream = makeStream(4096);
+    DDetPrefetcher p(32, 1, 16, 3, 4096);
+    std::vector<Addr> out;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        out.clear();
+        p.observeRead(stream[i++ % stream.size()], out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_DDetObserve);
+
+void
+BM_CharacterizerObserve(benchmark::State &state)
+{
+    auto stream = makeStream(4096);
+    StrideCharacterizer c(32);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &obs = stream[i++ % stream.size()];
+        c.observeMiss(obs.pc, obs.addr);
+    }
+}
+BENCHMARK(BM_CharacterizerObserve);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eq.scheduleIn(static_cast<Tick>(i % 8), [&sink] { ++sink; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CacheArrayFindFill(benchmark::State &state)
+{
+    CacheArray array(16384, 1, 32);
+    Rng rng(3);
+    for (auto _ : state) {
+        Addr a = rng.below(1 << 20) & ~31ULL;
+        CacheBlk *blk = array.find(a);
+        if (!blk) {
+            CacheBlk *frame = array.findVictim(a);
+            array.fill(frame, a, CohState::Shared, 0);
+        }
+        benchmark::DoNotOptimize(blk);
+    }
+}
+BENCHMARK(BM_CacheArrayFindFill);
+
+void
+BM_MeshSend(benchmark::State &state)
+{
+    EventQueue eq;
+    MachineConfig cfg;
+    Mesh mesh(eq, cfg);
+    Rng rng(5);
+    for (auto _ : state) {
+        NodeId src = static_cast<NodeId>(rng.below(16));
+        NodeId dst = static_cast<NodeId>(rng.below(16));
+        if (dst == src)
+            dst = (dst + 1) % 16;
+        mesh.send(src, dst, 10, [] {});
+        eq.run();
+    }
+}
+BENCHMARK(BM_MeshSend);
+
+} // namespace
+
+BENCHMARK_MAIN();

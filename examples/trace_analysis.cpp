@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Using the library's components standalone, without the full machine:
+ * feed a synthetic (PC, address) reference trace through the stride
+ * characterizer and through each prefetcher, and report what each
+ * scheme would have detected. This is how the paper's Section 5.1
+ * "application characteristics" methodology can be applied to any
+ * trace a user brings.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/characterizer.hh"
+#include "core/ddet.hh"
+#include "core/idet.hh"
+#include "core/sequential.hh"
+#include "sim/random.hh"
+
+using namespace psim;
+
+namespace
+{
+
+struct Ref
+{
+    Pc pc;
+    Addr addr;
+};
+
+/**
+ * A synthetic trace mixing the paper's regimes: a unit-stride stream
+ * (LU-like), a 21-block stride stream (Water-like) and pointer-chasing
+ * noise (PTHOR-like).
+ */
+std::vector<Ref>
+makeTrace()
+{
+    std::vector<Ref> trace;
+    Rng rng(99);
+    Addr lu = 0x100000, water = 0x800000;
+    for (int i = 0; i < 3000; ++i) {
+        switch (i % 3) {
+          case 0:
+            trace.push_back({0x1000, lu});
+            lu += 32;
+            break;
+          case 1:
+            trace.push_back({0x1004, water});
+            water += 672;
+            break;
+          case 2:
+            trace.push_back({0x1008, 0x4000000 + rng.below(1 << 22)});
+            break;
+        }
+    }
+    return trace;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto trace = makeTrace();
+    std::printf("synthetic trace: %zu read misses "
+                "(1/3 unit stride, 1/3 stride 21 blocks, 1/3 random)\n\n",
+                trace.size());
+
+    // 1. Characterize it (the Table 2 metrics).
+    StrideCharacterizer chr(32);
+    for (const Ref &r : trace)
+        chr.observeMiss(r.pc, r.addr);
+    auto report = chr.finalize();
+    std::printf("characterizer: %.1f%% of misses in stride sequences, "
+                "avg length %.1f\n",
+                100.0 * report.strideFraction, report.avgSequenceLength);
+    for (std::size_t i = 0; i < report.topStrides.size() && i < 3; ++i) {
+        std::printf("  stride %3lld blocks: %.0f%% of stride misses\n",
+                    static_cast<long long>(report.topStrides[i].first),
+                    100.0 * report.topStrides[i].second);
+    }
+
+    // 2. Ask each prefetcher what it would fetch. A candidate is
+    //    "covering" if a later reference in the trace touches it.
+    auto evaluate = [&trace](Prefetcher &p, const char *label) {
+        std::vector<Addr> out;
+        std::size_t issued = 0, covering = 0;
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            out.clear();
+            ReadObservation obs;
+            obs.pc = trace[i].pc;
+            obs.addr = trace[i].addr;
+            obs.hit = false;
+            p.observeRead(obs, out);
+            for (Addr cand : out) {
+                ++issued;
+                Addr blk = alignDown(cand, 32);
+                for (std::size_t j = i + 1;
+                     j < trace.size() && j < i + 400; ++j) {
+                    if (alignDown(trace[j].addr, 32) == blk) {
+                        ++covering;
+                        break;
+                    }
+                }
+            }
+        }
+        std::printf("%-12s issued %5zu candidates, %5zu (%.0f%%) cover "
+                    "a future reference\n",
+                    label, issued, covering,
+                    issued ? 100.0 * covering / issued : 0.0);
+    };
+
+    std::printf("\nprefetcher candidate quality on this trace:\n");
+    SequentialPrefetcher seq(32, 1);
+    evaluate(seq, "sequential");
+    IDetPrefetcher idet(256, 1, 32);
+    evaluate(idet, "i-detection");
+    DDetPrefetcher ddet(32, 1, 16, 3, 4096);
+    evaluate(ddet, "d-detection");
+
+    std::printf("\nthe stride schemes follow both streams; sequential "
+                "covers only the unit-stride one.\n");
+    return 0;
+}

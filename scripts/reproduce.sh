@@ -1,0 +1,15 @@
+#!/bin/sh
+# Build everything, run the full test suite, and regenerate every
+# table/figure of the paper plus the extension studies.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in table2_characteristics table3_finite_slc table4_scaling \
+         fig6_schemes ablation_degree ablation_blocksize \
+         sensitivity_arch extension_adaptive extension_lookahead extension_protocol \
+         micro_prefetchers; do
+    echo "==== bench/$b ===="
+    ./build/bench/$b
+done

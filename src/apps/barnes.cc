@@ -1,0 +1,298 @@
+#include "apps/barnes.hh"
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace psim::apps
+{
+
+namespace
+{
+constexpr double kTheta2 = 0.49; ///< opening criterion (theta = 0.7)^2
+constexpr double kEps2 = 1e-4;   ///< softening
+constexpr double kDt = 0.01;
+constexpr unsigned kMaxDepth = 24;
+}
+
+BarnesWorkload::BarnesWorkload(unsigned scale) : Workload(scale)
+{
+    _nbody = 0; // sized in setup
+    _steps = 1; // a single force-evaluation + integration sweep
+}
+
+void
+BarnesWorkload::buildTree(std::vector<Node> &tree,
+                          const std::vector<double> &x,
+                          const std::vector<double> &y,
+                          const std::vector<double> &mass) const
+{
+    tree.clear();
+    Node root;
+    root.size = 1.0;
+    root.leaf = true;
+    tree.push_back(root);
+
+    // Insert bodies one at a time (the classic sequential build).
+    for (unsigned b = 0; b < _nbody; ++b) {
+        std::uint64_t n = 0;
+        double ox = 0, oy = 0, size = 1.0;
+        unsigned depth = 0;
+        for (;;) {
+            Node &cur = tree[n];
+            if (cur.leaf && !cur.hasBody) {
+                cur.hasBody = true;
+                cur.body = b;
+                break;
+            }
+            if (cur.leaf && cur.hasBody && depth < kMaxDepth) {
+                // Split: push the resident body down one level.
+                unsigned old = cur.body;
+                cur.leaf = false;
+                cur.hasBody = false;
+                double half = size / 2;
+                unsigned q = (x[old] >= ox + half ? 1u : 0u) |
+                             (y[old] >= oy + half ? 2u : 0u);
+                Node child;
+                child.size = half;
+                child.leaf = true;
+                child.hasBody = true;
+                child.body = old;
+                tree.push_back(child);
+                tree[n].child[q] =
+                        static_cast<std::uint64_t>(tree.size() - 1);
+                continue; // retry insertion of b at this node
+            }
+            if (cur.leaf) {
+                // Depth cap reached: keep multiple bodies by turning
+                // the node into a pseudo-cell whose cm aggregates them
+                // (handled in the mass pass); chain into child 0.
+                cur.leaf = false;
+            }
+            double half = size / 2;
+            unsigned q = (x[b] >= ox + half ? 1u : 0u) |
+                         (y[b] >= oy + half ? 2u : 0u);
+            if (tree[n].child[q] == kNoChild) {
+                Node child;
+                child.size = half;
+                child.leaf = true;
+                tree.push_back(child);
+                tree[n].child[q] =
+                        static_cast<std::uint64_t>(tree.size() - 1);
+            }
+            ox += (q & 1) ? half : 0;
+            oy += (q & 2) ? half : 0;
+            size = half;
+            ++depth;
+            n = tree[n].child[q];
+        }
+    }
+
+    // Bottom-up center-of-mass pass (iterative post-order).
+    std::vector<std::uint64_t> order;
+    std::vector<std::uint64_t> stack{0};
+    while (!stack.empty()) {
+        std::uint64_t n = stack.back();
+        stack.pop_back();
+        order.push_back(n);
+        for (unsigned q = 0; q < 4; ++q) {
+            if (tree[n].child[q] != kNoChild)
+                stack.push_back(tree[n].child[q]);
+        }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        Node &nd = tree[*it];
+        if (nd.leaf) {
+            if (nd.hasBody) {
+                nd.cmx = x[nd.body];
+                nd.cmy = y[nd.body];
+                nd.mass = mass[nd.body];
+            }
+            continue;
+        }
+        double mx = 0, my = 0, mm = 0;
+        for (unsigned q = 0; q < 4; ++q) {
+            if (nd.child[q] == kNoChild)
+                continue;
+            const Node &c = tree[nd.child[q]];
+            mx += c.cmx * c.mass;
+            my += c.cmy * c.mass;
+            mm += c.mass;
+        }
+        nd.mass = mm;
+        if (mm > 0) {
+            nd.cmx = mx / mm;
+            nd.cmy = my / mm;
+        }
+    }
+}
+
+void
+BarnesWorkload::publishTree(Machine &m, const std::vector<Node> &tree)
+        const
+{
+    for (std::uint64_t n = 0; n < tree.size(); ++n) {
+        const Node &nd = tree[n];
+        m.store().store<double>(nodeAddr(n, kNodeCmX), nd.cmx);
+        m.store().store<double>(nodeAddr(n, kNodeCmY), nd.cmy);
+        m.store().store<double>(nodeAddr(n, kNodeMass), nd.mass);
+        m.store().store<double>(nodeAddr(n, kNodeSize), nd.size);
+        for (unsigned q = 0; q < 4; ++q) {
+            m.store().store<std::uint64_t>(
+                    nodeAddr(n, kNodeChild + q * 8), nd.child[q]);
+        }
+    }
+}
+
+void
+BarnesWorkload::walkNative(const std::vector<Node> &tree, double bx,
+                           double by, double &fx, double &fy)
+{
+    std::vector<std::uint64_t> stack{0};
+    while (!stack.empty()) {
+        std::uint64_t n = stack.back();
+        stack.pop_back();
+        const Node &nd = tree[n];
+        if (nd.mass <= 0)
+            continue;
+        double dx = nd.cmx - bx;
+        double dy = nd.cmy - by;
+        double dist2 = dx * dx + dy * dy + kEps2;
+        bool is_leaf = nd.child[0] == kNoChild &&
+                       nd.child[1] == kNoChild &&
+                       nd.child[2] == kNoChild &&
+                       nd.child[3] == kNoChild;
+        if (is_leaf || nd.size * nd.size < kTheta2 * dist2) {
+            double inv = nd.mass / (dist2 * std::sqrt(dist2));
+            fx += dx * inv;
+            fy += dy * inv;
+        } else {
+            for (unsigned q = 0; q < 4; ++q) {
+                if (nd.child[q] != kNoChild)
+                    stack.push_back(nd.child[q]);
+            }
+        }
+    }
+}
+
+void
+BarnesWorkload::setup(Machine &m)
+{
+    _nbody = 32 * m.numProcs() * _scale;
+
+    Rng rng(m.cfg().seed ^ 0xAu);
+    std::vector<double> x(_nbody), y(_nbody), mass(_nbody);
+    std::vector<double> vx(_nbody, 0.0), vy(_nbody, 0.0);
+    for (unsigned b = 0; b < _nbody; ++b) {
+        x[b] = rng.real();
+        y[b] = rng.real();
+        mass[b] = 0.5 + rng.real();
+    }
+
+    buildTree(_tree, x, y, mass);
+
+    _bodies = shm().alloc(static_cast<std::size_t>(_nbody) * kBodyBytes,
+                          m.cfg().pageSize);
+    _nodes = shm().alloc(_tree.size() * kNodeBytes, m.cfg().pageSize);
+    _bar = shm().allocSync();
+
+    for (unsigned b = 0; b < _nbody; ++b) {
+        m.store().store<double>(bodyAddr(b, kBodyX), x[b]);
+        m.store().store<double>(bodyAddr(b, kBodyY), y[b]);
+        m.store().store<double>(bodyAddr(b, kBodyMass), mass[b]);
+        m.store().store<double>(bodyAddr(b, kBodyVx), 0.0);
+        m.store().store<double>(bodyAddr(b, kBodyVy), 0.0);
+    }
+    publishTree(m, _tree);
+
+    // Native reference: force sweep + integration, identical order.
+    for (unsigned b = 0; b < _nbody; ++b) {
+        double fx = 0, fy = 0;
+        walkNative(_tree, x[b], y[b], fx, fy);
+        vx[b] += fx * kDt;
+        vy[b] += fy * kDt;
+        x[b] += vx[b] * kDt;
+        y[b] += vy[b] * kDt;
+    }
+    _refX = x;
+    _refY = y;
+}
+
+Task
+BarnesWorkload::thread(ThreadCtx &ctx)
+{
+    const unsigned tid = ctx.tid();
+    const unsigned chunk = _nbody / ctx.nthreads();
+    const unsigned lo = tid * chunk;
+    const unsigned hi = lo + chunk;
+
+    for (unsigned b = lo; b < hi; ++b) {
+        double bx = co_await ctx.read<double>(bodyAddr(b, kBodyX));
+        double by = co_await ctx.read<double>(bodyAddr(b, kBodyY));
+        double fx = 0, fy = 0;
+
+        // Explicit-stack tree walk: irregular pointer chasing over the
+        // shared quadtree (same traversal order as walkNative).
+        std::vector<std::uint64_t> stack{0};
+        while (!stack.empty()) {
+            std::uint64_t n = stack.back();
+            stack.pop_back();
+            double m = co_await ctx.read<double>(nodeAddr(n, kNodeMass));
+            if (m <= 0)
+                continue;
+            double cmx = co_await ctx.read<double>(nodeAddr(n, kNodeCmX));
+            double cmy = co_await ctx.read<double>(nodeAddr(n, kNodeCmY));
+            double size =
+                    co_await ctx.read<double>(nodeAddr(n, kNodeSize));
+            double dx = cmx - bx;
+            double dy = cmy - by;
+            double dist2 = dx * dx + dy * dy + kEps2;
+            std::uint64_t child[4];
+            for (unsigned q = 0; q < 4; ++q) {
+                child[q] = co_await ctx.read<std::uint64_t>(
+                        nodeAddr(n, kNodeChild + q * 8));
+            }
+            bool is_leaf = child[0] == kNoChild &&
+                           child[1] == kNoChild &&
+                           child[2] == kNoChild && child[3] == kNoChild;
+            if (is_leaf || size * size < kTheta2 * dist2) {
+                double inv = m / (dist2 * std::sqrt(dist2));
+                fx += dx * inv;
+                fy += dy * inv;
+                co_await ctx.think(10);
+            } else {
+                for (unsigned q = 0; q < 4; ++q) {
+                    if (child[q] != kNoChild)
+                        stack.push_back(child[q]);
+                }
+                co_await ctx.think(4);
+            }
+        }
+
+        double vx = co_await ctx.read<double>(bodyAddr(b, kBodyVx)) +
+                    fx * kDt;
+        double vy = co_await ctx.read<double>(bodyAddr(b, kBodyVy)) +
+                    fy * kDt;
+        co_await ctx.write<double>(bodyAddr(b, kBodyVx), vx);
+        co_await ctx.write<double>(bodyAddr(b, kBodyVy), vy);
+        co_await ctx.write<double>(bodyAddr(b, kBodyX), bx + vx * kDt);
+        co_await ctx.write<double>(bodyAddr(b, kBodyY), by + vy * kDt);
+    }
+    co_await ctx.barrier(_bar);
+}
+
+bool
+BarnesWorkload::verify(Machine &m)
+{
+    for (unsigned b = 0; b < _nbody; ++b) {
+        double x = m.store().load<double>(bodyAddr(b, kBodyX));
+        double y = m.store().load<double>(bodyAddr(b, kBodyY));
+        if (std::fabs(x - _refX[b]) > 1e-9 ||
+            std::fabs(y - _refY[b]) > 1e-9) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace psim::apps

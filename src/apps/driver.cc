@@ -1,0 +1,29 @@
+#include "apps/driver.hh"
+
+#include "sim/logging.hh"
+
+namespace psim::apps
+{
+
+Run
+runWorkload(const std::string &workload_name, const MachineConfig &cfg,
+            const RunOptions &opts)
+{
+    Run run;
+    run.machine = std::make_unique<Machine>(cfg);
+    run.workload = makeWorkload(workload_name, opts.scale);
+    if (opts.characterize)
+        run.machine->enableCharacterizers();
+    run.workload->attach(*run.machine);
+    run.machine->run(opts.limit);
+    run.finished = run.machine->allFinished();
+    if (run.finished) {
+        run.verified = run.workload->verify(*run.machine);
+        if (opts.checkInvariants)
+            run.machine->checkCoherenceInvariants();
+    }
+    run.metrics = run.machine->metrics();
+    return run;
+}
+
+} // namespace psim::apps

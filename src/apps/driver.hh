@@ -1,0 +1,43 @@
+/**
+ * @file
+ * One-call experiment driver: build a machine, attach a workload, run
+ * to completion, verify the numerical result, and collect the paper's
+ * metrics. Benches, examples and integration tests all go through this.
+ */
+
+#ifndef PSIM_APPS_DRIVER_HH
+#define PSIM_APPS_DRIVER_HH
+
+#include <memory>
+#include <string>
+
+#include "apps/workload.hh"
+#include "sys/machine.hh"
+
+namespace psim::apps
+{
+
+struct Run
+{
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<Workload> workload;
+    RunMetrics metrics;
+    bool verified = false;
+    bool finished = false;
+};
+
+struct RunOptions
+{
+    unsigned scale = 1;
+    bool characterize = false;   ///< attach Table-2/3 characterizers
+    bool checkInvariants = true; ///< verify coherence invariants after
+    Tick limit = kTickNever;     ///< simulated-time safety limit
+};
+
+/** Run @p workload_name on a machine configured by @p cfg. */
+Run runWorkload(const std::string &workload_name, const MachineConfig &cfg,
+                const RunOptions &opts = {});
+
+} // namespace psim::apps
+
+#endif // PSIM_APPS_DRIVER_HH

@@ -1,0 +1,237 @@
+#include "apps/fft.hh"
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace psim::apps
+{
+
+namespace
+{
+constexpr double kPi = 3.14159265358979323846;
+}
+
+FftWorkload::FftWorkload(unsigned scale) : Workload(scale)
+{
+    _m = 32 << scale; // 64x64 (N = 4096) at scale 1
+}
+
+void
+FftWorkload::rowFftNative(std::complex<double> *row, unsigned n,
+                          const std::vector<std::complex<double>> &w)
+{
+    // Bit-reversal permutation.
+    for (unsigned i = 1, j = 0; i < n; ++i) {
+        unsigned bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j |= bit;
+        if (i < j)
+            std::swap(row[i], row[j]);
+    }
+    // Iterative radix-2 butterflies.
+    for (unsigned len = 2; len <= n; len <<= 1) {
+        unsigned step = n / len;
+        for (unsigned start = 0; start < n; start += len) {
+            for (unsigned k = 0; k < len / 2; ++k) {
+                std::complex<double> u = row[start + k];
+                std::complex<double> v =
+                        row[start + k + len / 2] * w[k * step];
+                row[start + k] = u + v;
+                row[start + k + len / 2] = u - v;
+            }
+        }
+    }
+}
+
+void
+FftWorkload::setup(Machine &m)
+{
+    std::size_t elems = static_cast<std::size_t>(_m) * _m;
+    _a = shm().alloc(elems * 16, m.cfg().pageSize);
+    _b = shm().alloc(elems * 16, m.cfg().pageSize);
+    _w = shm().alloc(static_cast<std::size_t>(_m) * 16,
+                     m.cfg().pageSize);
+    _bar = shm().allocSync();
+
+    Rng rng(m.cfg().seed ^ 0x8u);
+    std::vector<std::complex<double>> a(elems);
+    for (std::size_t idx = 0; idx < elems; ++idx) {
+        a[idx] = {rng.real() - 0.5, rng.real() - 0.5};
+        unsigned i = static_cast<unsigned>(idx) / _m;
+        unsigned j = static_cast<unsigned>(idx) % _m;
+        m.store().store<double>(at(_a, i, j), a[idx].real());
+        m.store().store<double>(at(_a, i, j) + 8, a[idx].imag());
+    }
+    std::vector<std::complex<double>> w(_m);
+    for (unsigned k = 0; k < _m; ++k) {
+        w[k] = std::polar(1.0, -2.0 * kPi * k / _m);
+        m.store().store<double>(twiddle(k), w[k].real());
+        m.store().store<double>(twiddle(k) + 8, w[k].imag());
+    }
+
+    // Native replica of the six steps (identical operation order).
+    std::vector<std::complex<double>> b(elems);
+    auto ref_at = [this](std::vector<std::complex<double>> &v,
+                         unsigned i, unsigned j) -> std::complex<double> & {
+        return v[static_cast<std::size_t>(i) * _m + j];
+    };
+    // 1. transpose A -> B
+    for (unsigned i = 0; i < _m; ++i)
+        for (unsigned j = 0; j < _m; ++j)
+            ref_at(b, i, j) = ref_at(a, j, i);
+    // 2. row FFTs on B
+    for (unsigned i = 0; i < _m; ++i)
+        rowFftNative(&b[static_cast<std::size_t>(i) * _m], _m, w);
+    // 3. twiddle scale
+    for (unsigned i = 0; i < _m; ++i) {
+        for (unsigned j = 0; j < _m; ++j) {
+            double ang = -2.0 * kPi * static_cast<double>(i) *
+                         static_cast<double>(j) /
+                         (static_cast<double>(_m) * _m);
+            ref_at(b, i, j) *= std::polar(1.0, ang);
+        }
+    }
+    // 4. transpose B -> A
+    for (unsigned i = 0; i < _m; ++i)
+        for (unsigned j = 0; j < _m; ++j)
+            ref_at(a, i, j) = ref_at(b, j, i);
+    // 5. row FFTs on A
+    for (unsigned i = 0; i < _m; ++i)
+        rowFftNative(&a[static_cast<std::size_t>(i) * _m], _m, w);
+    // 6. transpose A -> B (final)
+    for (unsigned i = 0; i < _m; ++i)
+        for (unsigned j = 0; j < _m; ++j)
+            ref_at(b, i, j) = ref_at(a, j, i);
+    _ref = b;
+}
+
+Task
+FftWorkload::thread(ThreadCtx &ctx)
+{
+    const unsigned tid = ctx.tid();
+    const unsigned nproc = ctx.nthreads();
+    const unsigned band = _m / nproc;
+    const unsigned lo = tid * band;
+    const unsigned hi = lo + band;
+
+    // Transpose src -> dst for the owned destination rows: reads walk
+    // a column of the row-major source (one-row stride, remote).
+    auto transpose = [this, &ctx, lo, hi](Addr dst, Addr src) -> Task {
+        for (unsigned i = lo; i < hi; ++i) {
+            for (unsigned j = 0; j < _m; ++j) {
+                double re = co_await ctx.read<double>(at(src, j, i));
+                double im = co_await ctx.read<double>(at(src, j, i) + 8);
+                co_await ctx.write<double>(at(dst, i, j), re);
+                co_await ctx.write<double>(at(dst, i, j) + 8, im);
+                co_await ctx.think(2);
+            }
+        }
+    };
+
+    // In-place radix-2 FFT of one owned row (unit-stride, local).
+    auto rowFft = [this, &ctx](Addr base, unsigned i) -> Task {
+        for (unsigned x = 1, j = 0; x < _m; ++x) {
+            unsigned bit = _m >> 1;
+            for (; j & bit; bit >>= 1)
+                j ^= bit;
+            j |= bit;
+            if (x < j) {
+                double xr = co_await ctx.read<double>(at(base, i, x));
+                double xi = co_await ctx.read<double>(at(base, i, x) + 8);
+                double jr = co_await ctx.read<double>(at(base, i, j));
+                double ji = co_await ctx.read<double>(at(base, i, j) + 8);
+                co_await ctx.write<double>(at(base, i, x), jr);
+                co_await ctx.write<double>(at(base, i, x) + 8, ji);
+                co_await ctx.write<double>(at(base, i, j), xr);
+                co_await ctx.write<double>(at(base, i, j) + 8, xi);
+            }
+        }
+        for (unsigned len = 2; len <= _m; len <<= 1) {
+            unsigned step = _m / len;
+            for (unsigned start = 0; start < _m; start += len) {
+                for (unsigned k = 0; k < len / 2; ++k) {
+                    double wr = co_await ctx.read<double>(
+                            twiddle(k * step));
+                    double wi = co_await ctx.read<double>(
+                            twiddle(k * step) + 8);
+                    unsigned p = start + k;
+                    unsigned q = start + k + len / 2;
+                    double ur = co_await ctx.read<double>(at(base, i, p));
+                    double ui = co_await ctx.read<double>(
+                            at(base, i, p) + 8);
+                    double xr = co_await ctx.read<double>(at(base, i, q));
+                    double xi = co_await ctx.read<double>(
+                            at(base, i, q) + 8);
+                    std::complex<double> u{ur, ui};
+                    std::complex<double> v =
+                            std::complex<double>{xr, xi} *
+                            std::complex<double>{wr, wi};
+                    std::complex<double> s = u + v;
+                    std::complex<double> d = u - v;
+                    co_await ctx.write<double>(at(base, i, p), s.real());
+                    co_await ctx.write<double>(at(base, i, p) + 8,
+                                               s.imag());
+                    co_await ctx.write<double>(at(base, i, q), d.real());
+                    co_await ctx.write<double>(at(base, i, q) + 8,
+                                               d.imag());
+                    co_await ctx.think(6);
+                }
+            }
+        }
+    };
+
+    // 1. transpose A -> B
+    co_await transpose(_b, _a);
+    co_await ctx.barrier(_bar);
+    // 2. row FFTs on B
+    for (unsigned i = lo; i < hi; ++i)
+        co_await rowFft(_b, i);
+    // 3. twiddle scale (owned rows; the angle is private compute)
+    for (unsigned i = lo; i < hi; ++i) {
+        for (unsigned j = 0; j < _m; ++j) {
+            double ang = -2.0 * kPi * static_cast<double>(i) *
+                         static_cast<double>(j) /
+                         (static_cast<double>(_m) * _m);
+            std::complex<double> tw = std::polar(1.0, ang);
+            double re = co_await ctx.read<double>(at(_b, i, j));
+            double im = co_await ctx.read<double>(at(_b, i, j) + 8);
+            std::complex<double> v = std::complex<double>{re, im} * tw;
+            co_await ctx.write<double>(at(_b, i, j), v.real());
+            co_await ctx.write<double>(at(_b, i, j) + 8, v.imag());
+            co_await ctx.think(8);
+        }
+    }
+    co_await ctx.barrier(_bar);
+    // 4. transpose B -> A
+    co_await transpose(_a, _b);
+    co_await ctx.barrier(_bar);
+    // 5. row FFTs on A
+    for (unsigned i = lo; i < hi; ++i)
+        co_await rowFft(_a, i);
+    co_await ctx.barrier(_bar);
+    // 6. transpose A -> B
+    co_await transpose(_b, _a);
+    co_await ctx.barrier(_bar);
+}
+
+bool
+FftWorkload::verify(Machine &m)
+{
+    for (unsigned i = 0; i < _m; ++i) {
+        for (unsigned j = 0; j < _m; ++j) {
+            double re = m.store().load<double>(at(_b, i, j));
+            double im = m.store().load<double>(at(_b, i, j) + 8);
+            std::complex<double> want =
+                    _ref[static_cast<std::size_t>(i) * _m + j];
+            if (std::fabs(re - want.real()) > 1e-9 ||
+                std::fabs(im - want.imag()) > 1e-9) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace psim::apps

@@ -1,0 +1,91 @@
+#include "apps/matmul.hh"
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace psim::apps
+{
+
+MatmulWorkload::MatmulWorkload(unsigned scale) : Workload(scale)
+{
+    _n = 24 + 24 * scale;
+}
+
+void
+MatmulWorkload::setup(Machine &m)
+{
+    std::size_t bytes = static_cast<std::size_t>(_n) * _n * sizeof(double);
+    _a = shm().alloc(bytes, m.cfg().pageSize);
+    _b = shm().alloc(bytes, m.cfg().pageSize);
+    _c = shm().alloc(bytes, m.cfg().pageSize);
+    _bar = shm().allocSync();
+
+    Rng rng(m.cfg().seed ^ 0x2u);
+    std::vector<double> a(static_cast<std::size_t>(_n) * _n);
+    std::vector<double> b(a.size());
+    for (std::size_t idx = 0; idx < a.size(); ++idx) {
+        a[idx] = rng.real();
+        b[idx] = rng.real();
+        unsigned i = static_cast<unsigned>(idx) / _n;
+        unsigned j = static_cast<unsigned>(idx) % _n;
+        m.store().store<double>(at(_a, i, j), a[idx]);
+        m.store().store<double>(at(_b, i, j), b[idx]);
+        m.store().store<double>(at(_c, i, j), 0.0);
+    }
+
+    _ref.assign(a.size(), 0.0);
+    for (unsigned i = 0; i < _n; ++i) {
+        for (unsigned j = 0; j < _n; ++j) {
+            double sum = 0;
+            for (unsigned k = 0; k < _n; ++k) {
+                sum += a[static_cast<std::size_t>(i) * _n + k] *
+                       b[static_cast<std::size_t>(k) * _n + j];
+            }
+            _ref[static_cast<std::size_t>(i) * _n + j] = sum;
+        }
+    }
+}
+
+Task
+MatmulWorkload::thread(ThreadCtx &ctx)
+{
+    const unsigned tid = ctx.tid();
+    const unsigned nproc = ctx.nthreads();
+    const unsigned rows = (_n + nproc - 1) / nproc;
+    const unsigned lo = tid * rows;
+    const unsigned hi = std::min(_n, lo + rows);
+
+    for (unsigned i = lo; i < hi; ++i) {
+        for (unsigned j = 0; j < _n; ++j) {
+            double sum = co_await ctx.read<double>(at(_c, i, j));
+            for (unsigned k = 0; k < _n; ++k) {
+                // A[i,k]: element stride; B[k,j]: row stride (Figure 2).
+                double aik = co_await ctx.read<double>(at(_a, i, k));
+                double bkj = co_await ctx.read<double>(at(_b, k, j));
+                sum += aik * bkj;
+                co_await ctx.think(8);
+            }
+            co_await ctx.write<double>(at(_c, i, j), sum);
+        }
+    }
+    co_await ctx.barrier(_bar);
+}
+
+bool
+MatmulWorkload::verify(Machine &m)
+{
+    for (unsigned i = 0; i < _n; ++i) {
+        for (unsigned j = 0; j < _n; ++j) {
+            double got = m.store().load<double>(at(_c, i, j));
+            double want = _ref[static_cast<std::size_t>(i) * _n + j];
+            if (std::fabs(got - want) >
+                1e-9 * std::max(1.0, std::fabs(want))) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace psim::apps

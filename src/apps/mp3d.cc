@@ -1,0 +1,200 @@
+#include "apps/mp3d.hh"
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace psim::apps
+{
+
+namespace
+{
+
+constexpr double kDt = 0.05;
+
+std::uint64_t
+mix(std::uint64_t v)
+{
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    return v;
+}
+
+} // namespace
+
+Mp3dWorkload::Mp3dWorkload(unsigned scale) : Workload(scale)
+{
+    _steps = 5; // paper: 10K particles, 10 steps
+    _space = 0; // sized in setup once the processor count is known
+}
+
+unsigned
+Mp3dWorkload::partnerOf(unsigned p, unsigned step) const
+{
+    std::uint64_t h = mix((static_cast<std::uint64_t>(p) << 20) ^
+                          (step * 0x9e3779b9ULL));
+    unsigned q = static_cast<unsigned>(h % _npart);
+    if (q == p)
+        q = (q + 1) % _npart;
+    return q;
+}
+
+void
+Mp3dWorkload::setup(Machine &m)
+{
+    unsigned nproc = m.numProcs();
+    _npart = 640 * nproc * _scale; // 10,240 particles at 16 procs
+    _ncell = 128 * nproc * _scale;
+    _space = static_cast<double>(_ncell);
+
+    _parts = shm().alloc(static_cast<std::size_t>(_npart) * kRecordBytes,
+                         m.cfg().pageSize);
+    _cells = shm().alloc(static_cast<std::size_t>(_ncell) * 32,
+                         m.cfg().pageSize);
+    _bar = shm().allocSync();
+
+    Rng rng(m.cfg().seed ^ 0x6u);
+    unsigned chunk = _npart / nproc;
+    std::vector<double> pos(_npart);
+    std::vector<double> vel(_npart);
+    std::vector<double> energy(_npart);
+    std::vector<double> spin(_npart);
+    std::vector<double> weight(_npart);
+    for (unsigned p = 0; p < _npart; ++p) {
+        // Each processor's chunk spans the whole space in ascending
+        // order, so its cell accesses ascend with growing jitter.
+        unsigned local = p % chunk;
+        pos[p] = (local + 0.5) * _space / chunk +
+                 8.0 * (rng.real() - 0.5);
+        if (pos[p] < 0)
+            pos[p] += _space;
+        if (pos[p] >= _space)
+            pos[p] -= _space;
+        vel[p] = 2.0 * (rng.real() - 0.5);
+        energy[p] = rng.real();
+        spin[p] = rng.real() - 0.5;
+        weight[p] = 0.5 + rng.real();
+        m.store().store<double>(pfield(p, kPos), pos[p]);
+        m.store().store<double>(pfield(p, kVel), vel[p]);
+        m.store().store<double>(pfield(p, kEnergy), energy[p]);
+        m.store().store<double>(pfield(p, kSpin), spin[p]);
+        m.store().store<double>(pfield(p, kWeight), weight[p]);
+    }
+    std::vector<double> dens(_ncell);
+    for (unsigned c = 0; c < _ncell; ++c) {
+        dens[c] = 1.0 + 0.1 * (rng.real() - 0.5);
+        m.store().store<double>(cellAddr(c), dens[c]);
+    }
+
+    // Native reference: move -> (barrier) -> collide -> (barrier) ->
+    // cell update, all deterministic per particle.
+    for (unsigned step = 0; step < _steps; ++step) {
+        for (unsigned p = 0; p < _npart; ++p) {
+            unsigned c = static_cast<unsigned>(pos[p] * _ncell / _space);
+            if (c >= _ncell)
+                c = _ncell - 1;
+            vel[p] += 0.001 * (dens[c] - 1.0);
+            pos[p] += vel[p] * kDt;
+            if (pos[p] >= _space)
+                pos[p] -= _space;
+            if (pos[p] < 0)
+                pos[p] += _space;
+        }
+        std::vector<double> new_energy = energy;
+        std::vector<double> new_spin = spin;
+        for (unsigned p = 0; p < _npart; ++p) {
+            if (mix(p ^ (step * 77ULL)) % 2 != 0)
+                continue;
+            unsigned q = partnerOf(p, step);
+            new_energy[p] = 0.5 * (energy[p] +
+                    weight[q] * (vel[q] * vel[q] + 0.01 * pos[q]));
+            new_spin[p] = spin[p] + 0.1 * (vel[q] - vel[p]);
+        }
+        energy.swap(new_energy);
+        spin.swap(new_spin);
+        for (unsigned c = 0; c < _ncell; ++c)
+            dens[c] = 0.9 * dens[c] + 0.02 * std::sin(0.1 * (c + step));
+    }
+    _refPos = pos;
+    _refVel = vel;
+}
+
+Task
+Mp3dWorkload::thread(ThreadCtx &ctx)
+{
+    const unsigned tid = ctx.tid();
+    const unsigned nproc = ctx.nthreads();
+    const unsigned chunk = _npart / nproc;
+    const unsigned lo = tid * chunk;
+    const unsigned hi = lo + chunk;
+    const unsigned clo = tid * (_ncell / nproc);
+    const unsigned chi = clo + _ncell / nproc;
+
+    for (unsigned step = 0; step < _steps; ++step) {
+        // Move phase: advance own particles through the space-cell
+        // field (cell reads ascend with jitter: local, not strided).
+        for (unsigned p = lo; p < hi; ++p) {
+            double pos = co_await ctx.read<double>(pfield(p, kPos));
+            double vel = co_await ctx.read<double>(pfield(p, kVel));
+            unsigned c = static_cast<unsigned>(pos * _ncell / _space);
+            if (c >= _ncell)
+                c = _ncell - 1;
+            double dens = co_await ctx.read<double>(cellAddr(c));
+            vel += 0.001 * (dens - 1.0);
+            pos += vel * kDt;
+            if (pos >= _space)
+                pos -= _space;
+            if (pos < 0)
+                pos += _space;
+            co_await ctx.write<double>(pfield(p, kPos), pos);
+            co_await ctx.write<double>(pfield(p, kVel), vel);
+            co_await ctx.think(8);
+        }
+        co_await ctx.barrier(_bar);
+
+        // Collision phase: read a pseudo-random partner's record (it
+        // straddles two blocks) and update own energy/spin only.
+        for (unsigned p = lo; p < hi; ++p) {
+            if (mix(p ^ (step * 77ULL)) % 2 != 0)
+                continue;
+            unsigned q = partnerOf(p, step);
+            double qpos = co_await ctx.read<double>(pfield(q, kPos));
+            double qvel = co_await ctx.read<double>(pfield(q, kVel));
+            double qw = co_await ctx.read<double>(pfield(q, kWeight));
+            double e = co_await ctx.read<double>(pfield(p, kEnergy));
+            double s = co_await ctx.read<double>(pfield(p, kSpin));
+            double v = co_await ctx.read<double>(pfield(p, kVel));
+            co_await ctx.write<double>(pfield(p, kEnergy),
+                    0.5 * (e + qw * (qvel * qvel + 0.01 * qpos)));
+            co_await ctx.write<double>(pfield(p, kSpin),
+                    s + 0.1 * (qvel - v));
+            co_await ctx.think(10);
+        }
+        co_await ctx.barrier(_bar);
+
+        // Cell update: each processor refreshes its own cells.
+        for (unsigned c = clo; c < chi; ++c) {
+            double dens = co_await ctx.read<double>(cellAddr(c));
+            co_await ctx.write<double>(cellAddr(c),
+                    0.9 * dens + 0.02 * std::sin(0.1 * (c + step)));
+        }
+        co_await ctx.barrier(_bar);
+    }
+}
+
+bool
+Mp3dWorkload::verify(Machine &m)
+{
+    for (unsigned p = 0; p < _npart; ++p) {
+        double pos = m.store().load<double>(pfield(p, kPos));
+        double vel = m.store().load<double>(pfield(p, kVel));
+        if (std::fabs(pos - _refPos[p]) > 1e-9 ||
+            std::fabs(vel - _refVel[p]) > 1e-9) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace psim::apps

@@ -1,0 +1,111 @@
+#include "apps/ocean.hh"
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace psim::apps
+{
+
+namespace
+{
+constexpr double kOmega = 1.15; ///< SOR over-relaxation factor
+}
+
+OceanWorkload::OceanWorkload(unsigned scale) : Workload(scale)
+{
+    _g = 64 * scale;  // paper: 128x128 grid
+    _iters = 6;
+}
+
+void
+OceanWorkload::setup(Machine &m)
+{
+    std::size_t cells = static_cast<std::size_t>(_g + 2) * (_g + 2);
+    _grid = shm().alloc(cells * sizeof(double), m.cfg().pageSize);
+    _bar = shm().allocSync();
+
+    Rng rng(m.cfg().seed ^ 0x5u);
+    _ref.assign(cells, 0.0);
+    for (unsigned i = 0; i < _g + 2; ++i) {
+        for (unsigned j = 0; j < _g + 2; ++j) {
+            bool border = i == 0 || j == 0 || i == _g + 1 || j == _g + 1;
+            double v = border ? std::sin(0.37 * i) + std::cos(0.23 * j)
+                              : rng.real();
+            _ref[refIndex(i, j)] = v;
+            m.store().store<double>(cell(i, j), v);
+        }
+    }
+
+    // Native red-black SOR reference: identical sweep order.
+    for (unsigned iter = 0; iter < _iters; ++iter) {
+        for (unsigned color = 0; color < 2; ++color) {
+            for (unsigned j = 1; j <= _g; ++j) {
+                unsigned i0 = 1 + ((j + color) & 1);
+                for (unsigned i = i0; i <= _g; i += 2) {
+                    double up = _ref[refIndex(i - 1, j)];
+                    double down = _ref[refIndex(i + 1, j)];
+                    double left = _ref[refIndex(i, j - 1)];
+                    double right = _ref[refIndex(i, j + 1)];
+                    double old = _ref[refIndex(i, j)];
+                    _ref[refIndex(i, j)] =
+                            old + kOmega *
+                            (0.25 * (up + down + left + right) - old);
+                }
+            }
+        }
+    }
+}
+
+Task
+OceanWorkload::thread(ThreadCtx &ctx)
+{
+    const unsigned tid = ctx.tid();
+    const unsigned nproc = ctx.nthreads();
+    const unsigned width = _g / nproc; ///< columns per strip
+    const unsigned jlo = 1 + tid * width;
+    const unsigned jhi = jlo + width;
+
+    for (unsigned iter = 0; iter < _iters; ++iter) {
+        for (unsigned color = 0; color < 2; ++color) {
+            for (unsigned j = jlo; j < jhi; ++j) {
+                unsigned i0 = 1 + ((j + color) & 1);
+                for (unsigned i = i0; i <= _g; i += 2) {
+                    // Column scan, every other row: a stride of two
+                    // grid rows (the paper's 65-block Ocean stride).
+                    double up = co_await ctx.read<double>(cell(i - 1, j));
+                    double down =
+                            co_await ctx.read<double>(cell(i + 1, j));
+                    double left =
+                            co_await ctx.read<double>(cell(i, j - 1));
+                    double right =
+                            co_await ctx.read<double>(cell(i, j + 1));
+                    double old = co_await ctx.read<double>(cell(i, j));
+                    double next = old + kOmega *
+                            (0.25 * (up + down + left + right) - old);
+                    co_await ctx.write<double>(cell(i, j), next);
+                    co_await ctx.think(10);
+                }
+            }
+            co_await ctx.barrier(_bar);
+        }
+    }
+}
+
+bool
+OceanWorkload::verify(Machine &m)
+{
+    for (unsigned i = 0; i < _g + 2; ++i) {
+        for (unsigned j = 0; j < _g + 2; ++j) {
+            double got = m.store().load<double>(cell(i, j));
+            double want = _ref[refIndex(i, j)];
+            if (std::fabs(got - want) >
+                1e-9 * std::max(1.0, std::fabs(want))) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace psim::apps

@@ -1,0 +1,175 @@
+#include "apps/pthor.hh"
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace psim::apps
+{
+
+namespace
+{
+
+std::uint64_t
+mix(std::uint64_t v)
+{
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    return v;
+}
+
+double
+gateFn(double in0, double in1, double state)
+{
+    return std::tanh(0.8 * in0 - 0.6 * in1 + 0.1 * state);
+}
+
+} // namespace
+
+PthorWorkload::PthorWorkload(unsigned scale) : Workload(scale)
+{
+    _steps = 8; // paper: the RISC circuit for 1000 time steps
+}
+
+bool
+PthorWorkload::activeAt(unsigned e, unsigned step) const
+{
+    return mix(e ^ (step * 1013ULL)) % 3 != 0;
+}
+
+void
+PthorWorkload::setup(Machine &m)
+{
+    unsigned nproc = m.numProcs();
+    _nelem = 256 * nproc * _scale;
+
+    _elems = shm().alloc(static_cast<std::size_t>(_nelem) * kRecordBytes,
+                         m.cfg().pageSize);
+    _queues = shm().alloc(static_cast<std::size_t>(nproc) * 64, 64);
+    _queueLocks = shm().alloc(static_cast<std::size_t>(nproc) * 32, 32);
+    _bar = shm().allocSync();
+
+    Rng rng(m.cfg().seed ^ 0x7u);
+    std::vector<double> out(_nelem);
+    std::vector<double> state(_nelem);
+    std::vector<unsigned> fan0(_nelem);
+    std::vector<unsigned> fan1(_nelem);
+    for (unsigned e = 0; e < _nelem; ++e) {
+        out[e] = rng.real() - 0.5;
+        state[e] = rng.real() - 0.5;
+        fan0[e] = static_cast<unsigned>(mix(e * 3ULL + 1) % _nelem);
+        fan1[e] = static_cast<unsigned>(mix(e * 7ULL + 5) % _nelem);
+        if (fan0[e] == e)
+            fan0[e] = (fan0[e] + 1) % _nelem;
+        if (fan1[e] == e)
+            fan1[e] = (fan1[e] + 2) % _nelem;
+        m.store().store<double>(efield(e, kOutA), out[e]);
+        m.store().store<double>(efield(e, kOutB), 0.0);
+        m.store().store<double>(efield(e, kState), state[e]);
+        m.store().store<std::uint64_t>(efield(e, kFanin0), fan0[e]);
+        m.store().store<std::uint64_t>(efield(e, kFanin1), fan1[e]);
+        m.store().store<double>(efield(e, kDelay), 1.0 + rng.real());
+    }
+    for (unsigned n = 0; n < nproc; ++n)
+        m.store().store<double>(_queues + static_cast<Addr>(n) * 64, 0.0);
+
+    // Native reference with the same double-buffered schedule.
+    std::vector<double> cur = out;
+    std::vector<double> next(_nelem, 0.0);
+    std::vector<double> queue_counts(nproc, 0.0);
+    for (unsigned step = 0; step < _steps; ++step) {
+        for (unsigned e = 0; e < _nelem; ++e) {
+            if (!activeAt(e, step)) {
+                next[e] = cur[e];
+                continue;
+            }
+            double v = gateFn(cur[fan0[e]], cur[fan1[e]], state[e]);
+            next[e] = v;
+            state[e] = 0.95 * state[e] + 0.05 * v;
+            if (e % 16 == 0)
+                queue_counts[fan0[e] % nproc] += 1.0;
+        }
+        cur.swap(next);
+    }
+    _refOut = cur;
+    _refState = state;
+    _refOut.insert(_refOut.end(), queue_counts.begin(),
+                   queue_counts.end());
+}
+
+Task
+PthorWorkload::thread(ThreadCtx &ctx)
+{
+    const unsigned tid = ctx.tid();
+    const unsigned nproc = ctx.nthreads();
+    const unsigned chunk = _nelem / nproc;
+    const unsigned lo = tid * chunk;
+    const unsigned hi = lo + chunk;
+
+    for (unsigned step = 0; step < _steps; ++step) {
+        unsigned cur_off = (step % 2 == 0) ? kOutA : kOutB;
+        unsigned next_off = (step % 2 == 0) ? kOutB : kOutA;
+
+        for (unsigned e = lo; e < hi; ++e) {
+            if (!activeAt(e, step)) {
+                double keep =
+                        co_await ctx.read<double>(efield(e, cur_off));
+                co_await ctx.write<double>(efield(e, next_off), keep);
+                continue;
+            }
+            auto f0 = co_await ctx.read<std::uint64_t>(
+                    efield(e, kFanin0));
+            auto f1 = co_await ctx.read<std::uint64_t>(
+                    efield(e, kFanin1));
+            // Pointer-chasing fan-in reads: scattered, unstrided.
+            double in0 = co_await ctx.read<double>(
+                    efield(static_cast<unsigned>(f0), cur_off));
+            double in1 = co_await ctx.read<double>(
+                    efield(static_cast<unsigned>(f1), cur_off));
+            double st = co_await ctx.read<double>(efield(e, kState));
+            double v = gateFn(in0, in1, st);
+            co_await ctx.write<double>(efield(e, next_off), v);
+            co_await ctx.write<double>(efield(e, kState),
+                    0.95 * st + 0.05 * v);
+            co_await ctx.think(12);
+
+            if (e % 16 == 0) {
+                // Post an event to the fan-out owner's work queue.
+                NodeId target = static_cast<unsigned>(f0) % nproc;
+                Addr lock_addr =
+                        _queueLocks + static_cast<Addr>(target) * 32;
+                Addr slot = _queues + static_cast<Addr>(target) * 64;
+                co_await ctx.lock(lock_addr);
+                double cnt = co_await ctx.read<double>(slot);
+                co_await ctx.write<double>(slot, cnt + 1.0);
+                co_await ctx.unlock(lock_addr);
+            }
+        }
+        co_await ctx.barrier(_bar);
+    }
+}
+
+bool
+PthorWorkload::verify(Machine &m)
+{
+    unsigned cur_off = (_steps % 2 == 0) ? kOutA : kOutB;
+    for (unsigned e = 0; e < _nelem; ++e) {
+        double got = m.store().load<double>(efield(e, cur_off));
+        double st = m.store().load<double>(efield(e, kState));
+        if (std::fabs(got - _refOut[e]) > 1e-9 ||
+            std::fabs(st - _refState[e]) > 1e-9) {
+            return false;
+        }
+    }
+    unsigned nproc = m.numProcs();
+    for (unsigned n = 0; n < nproc; ++n) {
+        double got = m.store().load<double>(
+                _queues + static_cast<Addr>(n) * 64);
+        if (std::fabs(got - _refOut[_nelem + n]) > 1e-9)
+            return false;
+    }
+    return true;
+}
+
+} // namespace psim::apps

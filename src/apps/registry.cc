@@ -1,0 +1,53 @@
+#include "apps/workload.hh"
+
+#include "apps/barnes.hh"
+#include "apps/cholesky.hh"
+#include "apps/fft.hh"
+#include "apps/lu.hh"
+#include "apps/matmul.hh"
+#include "apps/mp3d.hh"
+#include "apps/ocean.hh"
+#include "apps/pthor.hh"
+#include "apps/radix.hh"
+#include "apps/water.hh"
+#include "sim/logging.hh"
+
+namespace psim::apps
+{
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, unsigned scale)
+{
+    if (name == "lu")
+        return std::make_unique<LuWorkload>(scale);
+    if (name == "matmul")
+        return std::make_unique<MatmulWorkload>(scale);
+    if (name == "fft")
+        return std::make_unique<FftWorkload>(scale);
+    if (name == "radix")
+        return std::make_unique<RadixWorkload>(scale);
+    if (name == "barnes")
+        return std::make_unique<BarnesWorkload>(scale);
+    if (name == "mp3d")
+        return std::make_unique<Mp3dWorkload>(scale);
+    if (name == "cholesky")
+        return std::make_unique<CholeskyWorkload>(scale);
+    if (name == "water")
+        return std::make_unique<WaterWorkload>(scale);
+    if (name == "ocean")
+        return std::make_unique<OceanWorkload>(scale);
+    if (name == "pthor")
+        return std::make_unique<PthorWorkload>(scale);
+    psim_fatal("unknown workload '%s'", name.c_str());
+}
+
+const std::vector<std::string> &
+paperWorkloads()
+{
+    static const std::vector<std::string> names = {
+        "mp3d", "cholesky", "water", "lu", "ocean", "pthor",
+    };
+    return names;
+}
+
+} // namespace psim::apps

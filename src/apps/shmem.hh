@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared-memory allocator for workloads.
+ *
+ * A simple bump allocator over the simulated shared address space.
+ * Pages are homed round-robin by the hardware (MachineConfig::homeOf);
+ * allocOnNode skips ahead to the next page whose home is a requested
+ * node, which workloads use to place per-processor data locally the way
+ * the ANL macros' G_MALLOC-with-placement idiom did.
+ */
+
+#ifndef PSIM_APPS_SHMEM_HH
+#define PSIM_APPS_SHMEM_HH
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace psim::apps
+{
+
+class ShmAllocator
+{
+  public:
+    explicit ShmAllocator(const MachineConfig &cfg,
+                          Addr base = 0x10000000ULL)
+        : _cfg(cfg), _next(base)
+    {
+    }
+
+    /** Allocate @p bytes with @p align alignment. */
+    Addr
+    alloc(std::size_t bytes, std::size_t align = 8)
+    {
+        psim_assert(isPowerOf2(align), "alignment must be a power of 2");
+        _next = (_next + align - 1) & ~(static_cast<Addr>(align) - 1);
+        Addr a = _next;
+        _next += bytes;
+        return a;
+    }
+
+    /** Allocate page-aligned storage whose first page is homed at @p n. */
+    Addr
+    allocOnNode(std::size_t bytes, NodeId n)
+    {
+        _next = (_next + _cfg.pageSize - 1) &
+                ~(static_cast<Addr>(_cfg.pageSize) - 1);
+        while (_cfg.homeOf(_next) != n)
+            _next += _cfg.pageSize;
+        Addr a = _next;
+        _next += bytes;
+        return a;
+    }
+
+    /** Allocate a fresh block-aligned synchronization variable. */
+    Addr
+    allocSync()
+    {
+        return alloc(_cfg.blockSize, _cfg.blockSize);
+    }
+
+    Addr brk() const { return _next; }
+
+  private:
+    const MachineConfig &_cfg;
+    Addr _next;
+};
+
+} // namespace psim::apps
+
+#endif // PSIM_APPS_SHMEM_HH

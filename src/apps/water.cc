@@ -1,0 +1,215 @@
+#include "apps/water.hh"
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace psim::apps
+{
+
+namespace
+{
+
+constexpr double kDt = 0.002;
+
+/** State mirrored natively for the reference computation. */
+struct Mol
+{
+    double x, y, z;
+    double dipx, dipy;
+    double quad;
+    double moment;
+    double vx, vy, vz;
+};
+
+/** Pairwise force contribution of molecule j on molecule i. */
+void
+pairForce(const Mol &mi, const Mol &mj, double &fx, double &fy, double &fz)
+{
+    double dx = mj.x - mi.x;
+    double dy = mj.y - mi.y;
+    double dz = mj.z - mi.z;
+    double r2 = dx * dx + dy * dy + dz * dz + 0.25;
+    double coupling = (1.0 + mj.dipx * mj.dipy + 0.1 * mj.quad) +
+                      0.01 * mj.moment;
+    double s = coupling / (r2 * std::sqrt(r2));
+    fx += dx * s;
+    fy += dy * s;
+    fz += dz * s;
+}
+
+} // namespace
+
+WaterWorkload::WaterWorkload(unsigned scale) : Workload(scale)
+{
+    _nmol = 48 + 48 * scale; // paper: 288 molecules
+    _steps = 3;              // paper: 4 time steps
+}
+
+void
+WaterWorkload::setup(Machine &m)
+{
+    _mols = shm().alloc(static_cast<std::size_t>(_nmol) * kRecordBytes,
+                        m.cfg().pageSize);
+    _bar = shm().allocSync();
+
+    Rng rng(m.cfg().seed ^ 0x4u);
+    std::vector<Mol> mols(_nmol);
+    for (unsigned i = 0; i < _nmol; ++i) {
+        Mol &mol = mols[i];
+        mol.x = 10.0 * rng.real();
+        mol.y = 10.0 * rng.real();
+        mol.z = 10.0 * rng.real();
+        mol.dipx = rng.real() - 0.5;
+        mol.dipy = rng.real() - 0.5;
+        mol.quad = rng.real();
+        mol.moment = rng.real();
+        mol.vx = mol.vy = mol.vz = 0.0;
+        m.store().store<double>(field(i, kPosX), mol.x);
+        m.store().store<double>(field(i, kPosY), mol.y);
+        m.store().store<double>(field(i, kPosZ), mol.z);
+        m.store().store<double>(field(i, kDipole), mol.dipx);
+        m.store().store<double>(field(i, kDipole + 8), mol.dipy);
+        m.store().store<double>(field(i, kCharge + 24), mol.quad);
+        m.store().store<double>(field(i, 96), mol.moment);
+        m.store().store<double>(field(i, kVelX), 0.0);
+        m.store().store<double>(field(i, kVelY), 0.0);
+        m.store().store<double>(field(i, kVelZ), 0.0);
+    }
+
+    // Native reference: identical loop and accumulation order.
+    std::vector<Mol> cur = mols;
+    for (unsigned step = 0; step < _steps; ++step) {
+        std::vector<double> f(static_cast<std::size_t>(_nmol) * 3, 0.0);
+        for (unsigned i = 0; i < _nmol; ++i) {
+            for (unsigned j = 0; j < _nmol; ++j) {
+                if (j == i)
+                    continue;
+                pairForce(cur[i], cur[j], f[3 * i], f[3 * i + 1],
+                          f[3 * i + 2]);
+            }
+        }
+        for (unsigned i = 0; i < _nmol; ++i) {
+            Mol &mol = cur[i];
+            mol.vx += f[3 * i] * kDt;
+            mol.vy += f[3 * i + 1] * kDt;
+            mol.vz += f[3 * i + 2] * kDt;
+            mol.x += mol.vx * kDt;
+            mol.y += mol.vy * kDt;
+            mol.z += mol.vz * kDt;
+            mol.dipx += 0.01 * mol.vx;
+            mol.dipy += 0.01 * mol.vy;
+            mol.quad += 0.001 * mol.vz;
+            mol.moment += 0.0001 * (mol.vx + mol.vy);
+        }
+    }
+    _refPos.resize(static_cast<std::size_t>(_nmol) * 3);
+    for (unsigned i = 0; i < _nmol; ++i) {
+        _refPos[3 * i] = cur[i].x;
+        _refPos[3 * i + 1] = cur[i].y;
+        _refPos[3 * i + 2] = cur[i].z;
+    }
+}
+
+Task
+WaterWorkload::thread(ThreadCtx &ctx)
+{
+    const unsigned tid = ctx.tid();
+    const unsigned nproc = ctx.nthreads();
+    const unsigned chunk = _nmol / nproc;
+    const unsigned lo = tid * chunk;
+    const unsigned hi = (tid == nproc - 1) ? _nmol : lo + chunk;
+
+    for (unsigned step = 0; step < _steps; ++step) {
+        // Force phase: stream the first four blocks of every other
+        // molecule's record (stride 21 blocks between records, adjacent
+        // blocks within one).
+        for (unsigned i = lo; i < hi; ++i) {
+            Mol mi;
+            mi.x = co_await ctx.read<double>(field(i, kPosX));
+            mi.y = co_await ctx.read<double>(field(i, kPosY));
+            mi.z = co_await ctx.read<double>(field(i, kPosZ));
+            double fx = 0, fy = 0, fz = 0;
+            for (unsigned j = 0; j < _nmol; ++j) {
+                if (j == i)
+                    continue;
+                Mol mj;
+                mj.x = co_await ctx.read<double>(field(j, kPosX));
+                mj.y = co_await ctx.read<double>(field(j, kPosY));
+                mj.z = co_await ctx.read<double>(field(j, kPosZ));
+                mj.dipx = co_await ctx.read<double>(field(j, kDipole));
+                mj.dipy = co_await ctx.read<double>(
+                        field(j, kDipole + 8));
+                mj.quad = co_await ctx.read<double>(
+                        field(j, kCharge + 24));
+                mj.moment = co_await ctx.read<double>(field(j, 96));
+                pairForce(mi, mj, fx, fy, fz);
+                co_await ctx.think(12);
+            }
+            co_await ctx.write<double>(field(i, kForceX), fx);
+            co_await ctx.write<double>(field(i, kForceY), fy);
+            co_await ctx.write<double>(field(i, kForceZ), fz);
+        }
+        co_await ctx.barrier(_bar);
+
+        // Integrate own molecules; rewriting the streamed fields is
+        // what turns the next step's force reads into coherence misses.
+        for (unsigned i = lo; i < hi; ++i) {
+            double fx = co_await ctx.read<double>(field(i, kForceX));
+            double fy = co_await ctx.read<double>(field(i, kForceY));
+            double fz = co_await ctx.read<double>(field(i, kForceZ));
+            double vx = co_await ctx.read<double>(field(i, kVelX)) +
+                        fx * kDt;
+            double vy = co_await ctx.read<double>(field(i, kVelY)) +
+                        fy * kDt;
+            double vz = co_await ctx.read<double>(field(i, kVelZ)) +
+                        fz * kDt;
+            double x = co_await ctx.read<double>(field(i, kPosX)) +
+                       vx * kDt;
+            double y = co_await ctx.read<double>(field(i, kPosY)) +
+                       vy * kDt;
+            double z = co_await ctx.read<double>(field(i, kPosZ)) +
+                       vz * kDt;
+            co_await ctx.write<double>(field(i, kVelX), vx);
+            co_await ctx.write<double>(field(i, kVelY), vy);
+            co_await ctx.write<double>(field(i, kVelZ), vz);
+            co_await ctx.write<double>(field(i, kPosX), x);
+            co_await ctx.write<double>(field(i, kPosY), y);
+            co_await ctx.write<double>(field(i, kPosZ), z);
+
+            double dipx = co_await ctx.read<double>(field(i, kDipole)) +
+                          0.01 * vx;
+            double dipy = co_await ctx.read<double>(
+                                  field(i, kDipole + 8)) +
+                          0.01 * vy;
+            double quad = co_await ctx.read<double>(
+                                  field(i, kCharge + 24)) +
+                          0.001 * vz;
+            double moment = co_await ctx.read<double>(field(i, 96)) +
+                            0.0001 * (vx + vy);
+            co_await ctx.write<double>(field(i, kDipole), dipx);
+            co_await ctx.write<double>(field(i, kDipole + 8), dipy);
+            co_await ctx.write<double>(field(i, kCharge + 24), quad);
+            co_await ctx.write<double>(field(i, 96), moment);
+        }
+        co_await ctx.barrier(_bar);
+    }
+}
+
+bool
+WaterWorkload::verify(Machine &m)
+{
+    for (unsigned i = 0; i < _nmol; ++i) {
+        double x = m.store().load<double>(field(i, kPosX));
+        double y = m.store().load<double>(field(i, kPosY));
+        double z = m.store().load<double>(field(i, kPosZ));
+        if (std::fabs(x - _refPos[3 * i]) > 1e-9 ||
+            std::fabs(y - _refPos[3 * i + 1]) > 1e-9 ||
+            std::fabs(z - _refPos[3 * i + 2]) > 1e-9) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace psim::apps

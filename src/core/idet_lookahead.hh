@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Lookahead I-detection stride prefetching (paper Section 6; the
+ * original Baer/Chen mechanism).
+ *
+ * Baer and Chen drive prefetching with a lookahead program counter
+ * that runs ahead of the real PC by about one miss latency, issuing a
+ * prefetch when the lookahead PC reaches a load with a predicted
+ * stride. The paper's own I-detection scheme replaces this with the
+ * tagged-block continuation to avoid processor modifications, arguing
+ * the performance difference is small.
+ *
+ * This class models the lookahead variant within the SLC-observation
+ * framework: every read presented to the SLC that matches a
+ * prefetchable RPT entry prefetches `lookahead` strides ahead of the
+ * current address -- the steady-state effect of a lookahead PC that
+ * stays `lookahead` dynamic executions of the load ahead. It does not
+ * depend on the prefetched-block tag at all.
+ */
+
+#ifndef PSIM_CORE_IDET_LOOKAHEAD_HH
+#define PSIM_CORE_IDET_LOOKAHEAD_HH
+
+#include "core/prefetcher.hh"
+#include "core/rpt.hh"
+
+namespace psim
+{
+
+class IDetLookaheadPrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param rpt_entries RPT size (paper: 256, direct-mapped)
+     * @param lookahead how many dynamic strides the (virtual)
+     *        lookahead PC runs ahead of the processor
+     * @param block_size cache block size in bytes
+     */
+    IDetLookaheadPrefetcher(unsigned rpt_entries, unsigned lookahead,
+                            unsigned block_size)
+        : _rpt(rpt_entries), _lookahead(lookahead),
+          _blockSize(block_size)
+    {
+    }
+
+    void
+    observeRead(const ReadObservation &obs, std::vector<Addr> &out) override
+    {
+        Rpt::Outcome oc = _rpt.observe(obs.pc, obs.addr, !obs.hit);
+        if (!oc.prefetchable)
+            return;
+
+        // The lookahead PC is `lookahead` executions of this load
+        // ahead, so it accesses addr + lookahead * stride right now.
+        std::int64_t bs = static_cast<std::int64_t>(_blockSize);
+        std::int64_t sblk = oc.stride / bs;
+        if (sblk == 0)
+            sblk = oc.stride > 0 ? 1 : -1;
+        std::int64_t target =
+                static_cast<std::int64_t>(obs.addr) +
+                sblk * bs * static_cast<std::int64_t>(_lookahead);
+        if (target >= 0)
+            out.push_back(static_cast<Addr>(target));
+    }
+
+    const char *name() const override { return "i-det-la"; }
+
+    Rpt &rpt() { return _rpt; }
+
+  private:
+    Rpt _rpt;
+    unsigned _lookahead;
+    unsigned _blockSize;
+};
+
+} // namespace psim
+
+#endif // PSIM_CORE_IDET_LOOKAHEAD_HH

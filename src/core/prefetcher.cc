@@ -1,0 +1,40 @@
+#include "core/prefetcher.hh"
+
+#include "core/adaptive.hh"
+#include "core/ddet.hh"
+#include "core/idet.hh"
+#include "core/idet_lookahead.hh"
+#include "core/sequential.hh"
+#include "sim/logging.hh"
+
+namespace psim
+{
+
+std::unique_ptr<Prefetcher>
+Prefetcher::create(const MachineConfig &cfg)
+{
+    const PrefetchConfig &p = cfg.prefetch;
+    switch (p.scheme) {
+      case PrefetchScheme::None:
+        return std::make_unique<NullPrefetcher>();
+      case PrefetchScheme::Sequential:
+        return std::make_unique<SequentialPrefetcher>(cfg.blockSize,
+                                                      p.degree);
+      case PrefetchScheme::IDet:
+        return std::make_unique<IDetPrefetcher>(p.rptEntries, p.degree,
+                                                cfg.blockSize);
+      case PrefetchScheme::DDet:
+        return std::make_unique<DDetPrefetcher>(cfg.blockSize, p.degree,
+                p.ddetEntries, p.strideThreshold, cfg.pageSize);
+      case PrefetchScheme::Adaptive:
+        return std::make_unique<AdaptiveSequentialPrefetcher>(
+                cfg.blockSize, p.degree, p.adaptiveMaxDegree,
+                p.adaptiveWindow);
+      case PrefetchScheme::IDetLookahead:
+        return std::make_unique<IDetLookaheadPrefetcher>(p.rptEntries,
+                p.lookaheadStrides, cfg.blockSize);
+    }
+    psim_panic("unknown prefetch scheme");
+}
+
+} // namespace psim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Hardware prefetcher interface (Section 3 of the paper).
+ *
+ * All schemes attach to the second-level cache and observe the read
+ * requests the FLC presents to it (both hits and misses). They never see
+ * FLC hits -- exactly the paper's "the prefetch mechanisms only observe
+ * block references".
+ *
+ * All schemes share the same prefetching phase (Section 3.3): the SLC
+ * tags prefetched blocks with one bit; a demand hit on a tagged block
+ * clears the bit and asks the prefetcher for the continuation. The
+ * prefetcher returns candidate *byte* addresses; the SLC block-aligns
+ * them, drops candidates that are already present/pending, and enforces
+ * the no-prefetch-across-page-boundaries rule.
+ */
+
+#ifndef PSIM_CORE_PREFETCHER_HH
+#define PSIM_CORE_PREFETCHER_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace psim
+{
+
+/** One read request presented to the SLC. */
+struct ReadObservation
+{
+    Pc pc = 0;             ///< PC of the load (I-detection uses it)
+    Addr addr = 0;         ///< byte address requested
+    bool hit = false;      ///< SLC hit?
+    bool taggedHit = false; ///< hit on a block whose prefetch bit was set
+};
+
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Observe one read request and append prefetch candidates (byte
+     * addresses) to @p out. Candidates may duplicate or alias blocks;
+     * the SLC filters.
+     */
+    virtual void observeRead(const ReadObservation &obs,
+                             std::vector<Addr> &out) = 0;
+
+    /**
+     * Feedback from the cache: one issued prefetch reached its fate --
+     * @p useful when a demand access consumed it (@p late when the
+     * consumer had to wait because the prefetch was still in flight),
+     * not useful when it was invalidated, replaced or aged out still
+     * unreferenced. Adaptive schemes use this; the fixed schemes
+     * ignore it.
+     */
+    virtual void
+    notePrefetchOutcome(bool useful, bool late = false)
+    {
+        (void)useful;
+        (void)late;
+    }
+
+    /** Scheme name as used in the paper's figures. */
+    virtual const char *name() const = 0;
+
+    /** Build the scheme selected by @p cfg.prefetch (never null). */
+    static std::unique_ptr<Prefetcher> create(const MachineConfig &cfg);
+};
+
+/** The baseline architecture: no prefetching. */
+class NullPrefetcher : public Prefetcher
+{
+  public:
+    void
+    observeRead(const ReadObservation &, std::vector<Addr> &) override
+    {
+    }
+
+    const char *name() const override { return "baseline"; }
+};
+
+} // namespace psim
+
+#endif // PSIM_CORE_PREFETCHER_HH

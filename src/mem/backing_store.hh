@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Functional backing store for the simulated shared address space.
+ *
+ * psim is a program-driven simulator: the workloads really compute, so
+ * loads must return real values. The store is sparse (per-page chunks)
+ * and purely functional -- timing lives entirely in the architectural
+ * models. Typed accessors require naturally aligned accesses, which is
+ * what the workloads (and SPARC, the paper's ISA) generate.
+ */
+
+#ifndef PSIM_MEM_BACKING_STORE_HH
+#define PSIM_MEM_BACKING_STORE_HH
+
+#include <cstring>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace psim
+{
+
+class BackingStore
+{
+  public:
+    explicit BackingStore(unsigned page_size = 4096)
+        : _pageSize(page_size)
+    {
+        psim_assert(isPowerOf2(page_size), "page size must be power of 2");
+    }
+
+    /** Read @p len bytes at @p addr (must not cross a page). */
+    void
+    read(Addr addr, void *dst, unsigned len) const
+    {
+        const std::uint8_t *page = findPage(addr);
+        if (!page) {
+            std::memset(dst, 0, len);
+            return;
+        }
+        std::memcpy(dst, page + offset(addr), len);
+    }
+
+    /** Write @p len bytes at @p addr (must not cross a page). */
+    void
+    write(Addr addr, const void *src, unsigned len)
+    {
+        std::memcpy(ensurePage(addr) + offset(addr), src, len);
+    }
+
+    /** Typed aligned load. */
+    template <typename T>
+    T
+    load(Addr addr) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        psim_assert(addr % alignof(T) == 0, "misaligned load of %zu at %llx",
+                    sizeof(T), (unsigned long long)addr);
+        checkSamePage(addr, sizeof(T));
+        T v{};
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    /** Typed aligned store. */
+    template <typename T>
+    void
+    store(Addr addr, const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        psim_assert(addr % alignof(T) == 0, "misaligned store of %zu at %llx",
+                    sizeof(T), (unsigned long long)addr);
+        checkSamePage(addr, sizeof(T));
+        write(addr, &v, sizeof(T));
+    }
+
+    unsigned pageSize() const { return _pageSize; }
+
+  private:
+    void
+    checkSamePage(Addr addr, unsigned len) const
+    {
+        psim_assert(alignDown(addr, _pageSize) ==
+                    alignDown(addr + len - 1, _pageSize),
+                    "access crosses a page boundary");
+    }
+
+    std::size_t offset(Addr addr) const { return addr & (_pageSize - 1); }
+
+    const std::uint8_t *
+    findPage(Addr addr) const
+    {
+        auto it = _pages.find(alignDown(addr, _pageSize));
+        return it == _pages.end() ? nullptr : it->second.data();
+    }
+
+    std::uint8_t *
+    ensurePage(Addr addr)
+    {
+        auto &page = _pages[alignDown(addr, _pageSize)];
+        if (page.empty())
+            page.resize(_pageSize, 0);
+        return page.data();
+    }
+
+    unsigned _pageSize;
+    std::unordered_map<Addr, std::vector<std::uint8_t>> _pages;
+};
+
+} // namespace psim
+
+#endif // PSIM_MEM_BACKING_STORE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Local split-transaction bus (paper: 256-bit wide, 33 MHz).
+ *
+ * Every message crossing between a node's SLC, memory controller and
+ * network interface claims the bus for an arbitration cycle plus one
+ * transfer phase. The bus is 256 bits wide, so a 32-byte block moves in
+ * a single data phase; requests and replies therefore occupy the same
+ * number of cycles and the interesting contention effect is queueing.
+ */
+
+#ifndef PSIM_MEM_BUS_HH
+#define PSIM_MEM_BUS_HH
+
+#include <functional>
+
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/resource.hh"
+#include "sim/stats.hh"
+
+namespace psim
+{
+
+class Bus
+{
+  public:
+    Bus(EventQueue &eq, const MachineConfig &cfg) : _eq(eq), _cfg(cfg) {}
+
+    /**
+     * Move one message across the bus; @p done runs when the transfer
+     * completes. @p data selects a data-phase transaction (for traffic
+     * accounting).
+     */
+    void
+    transfer(bool data, std::function<void()> done)
+    {
+        // Arbitration is pipelined with the previous transfer, so the
+        // bus is occupied for the transfer phase only, but each message
+        // still experiences arbitration + transfer latency.
+        Tick occ = _cfg.busPhaseCycles * _cfg.busCycle;
+        Tick arb = _cfg.busCycle;
+        Tick start = res.claim(_eq.now(), occ);
+        ++transactions;
+        if (data)
+            ++dataTransactions;
+        _eq.schedule(start + arb + occ, std::move(done));
+    }
+
+    Resource res;
+    stats::Scalar transactions;
+    stats::Scalar dataTransactions;
+
+  private:
+    EventQueue &_eq;
+    const MachineConfig &_cfg;
+};
+
+} // namespace psim
+
+#endif // PSIM_MEM_BUS_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Generic cache tag/state array.
+ *
+ * Used both by the FLC (direct-mapped, valid bit only) and the SLC
+ * (coherence state + prefetched bit). Supports an "infinite" mode, used
+ * for the paper's default infinitely-large SLC, backed by a hash map so
+ * that no replacements ever occur.
+ */
+
+#ifndef PSIM_MEM_CACHE_ARRAY_HH
+#define PSIM_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace psim
+{
+
+/** SLC coherence states (write-invalidate MSI at the second level). */
+enum class CohState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Modified,
+};
+
+const char *toString(CohState s);
+
+struct CacheBlk
+{
+    Addr addr = kAddrInvalid; ///< block-aligned address
+    CohState state = CohState::Invalid;
+    bool prefetched = false;  ///< the 1-bit prefetch tag of Section 3.3
+    bool written = false;     ///< the local processor stored to this copy
+    /**
+     * The prefetch outcome for this block was already reported to the
+     * prefetcher as useless because it stayed unreferenced too long
+     * (adaptive-scheme feedback aging; see Slc::agePrefetches).
+     */
+    bool outcomeReported = false;
+    Tick lastUse = 0;         ///< LRU timestamp
+
+    bool valid() const { return state != CohState::Invalid; }
+};
+
+class CacheArray
+{
+  public:
+    /**
+     * @param size_bytes total capacity; 0 means infinite
+     * @param assoc ways per set (ignored when infinite)
+     * @param block_size bytes per block
+     */
+    CacheArray(unsigned size_bytes, unsigned assoc, unsigned block_size);
+
+    bool infinite() const { return _infinite; }
+    unsigned numSets() const { return _numSets; }
+    unsigned assoc() const { return _assoc; }
+
+    /** Look up a block; nullptr on miss. Does not touch LRU state. */
+    CacheBlk *find(Addr blk_addr);
+    const CacheBlk *find(Addr blk_addr) const;
+
+    /** Update the LRU timestamp of a resident block. */
+    void touch(CacheBlk *blk, Tick now) { blk->lastUse = now; }
+
+    /**
+     * Pick the frame a new block for @p blk_addr would occupy. In
+     * infinite mode this never evicts. Otherwise returns the invalid or
+     * LRU way of the set; the caller must handle the victim (the
+     * returned block still holds the victim's metadata).
+     */
+    CacheBlk *findVictim(Addr blk_addr);
+
+    /**
+     * Install @p blk_addr in @p frame (obtained from findVictim) with
+     * @p state.
+     */
+    void
+    fill(CacheBlk *frame, Addr blk_addr, CohState state, Tick now)
+    {
+        frame->addr = blk_addr;
+        frame->state = state;
+        frame->prefetched = false;
+        frame->outcomeReported = false;
+        frame->written = false;
+        frame->lastUse = now;
+    }
+
+    /** Invalidate a resident block. */
+    void invalidate(CacheBlk *blk);
+
+    /** Apply @p fn to every valid block (for invariant checks/stats). */
+    void forEach(const std::function<void(const CacheBlk &)> &fn) const;
+
+    /** Number of currently valid blocks. */
+    std::size_t numValid() const;
+
+  private:
+    std::size_t setIndex(Addr blk_addr) const;
+
+    bool _infinite;
+    unsigned _assoc;
+    unsigned _blockSize;
+    unsigned _numSets;
+
+    /** Finite storage: sets x ways. */
+    std::vector<CacheBlk> _frames;
+
+    /** Infinite storage. */
+    std::unordered_map<Addr, CacheBlk> _map;
+};
+
+} // namespace psim
+
+#endif // PSIM_MEM_CACHE_ARRAY_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Home memory controller: DRAM timing, full-map directory, and the
+ * memory-side lock/barrier controllers.
+ *
+ * The directory implements a Censier/Feautrier-style write-invalidate
+ * protocol: a presence bit per node for clean blocks, an owner for
+ * dirty blocks, invalidation acknowledgements collected at the home,
+ * and ownership transfers serialized by blocking the directory entry
+ * (subsequent requests for a busy block queue at the home and are
+ * replayed in order).
+ */
+
+#ifndef PSIM_MEM_MEM_CTRL_HH
+#define PSIM_MEM_MEM_CTRL_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "proto/lock_ctrl.hh"
+#include "proto/message.hh"
+#include "sim/resource.hh"
+#include "sim/stats.hh"
+
+namespace psim
+{
+
+class Machine;
+
+class MemCtrl
+{
+  public:
+    MemCtrl(Machine &m, NodeId id);
+
+    /** A message delivered over the local bus. */
+    void receive(const Message &m);
+
+    /** Directory state of a block (tests / invariant checks). */
+    struct DirSnapshot
+    {
+        enum class St : std::uint8_t { Uncached, Clean, Dirty } st =
+                St::Uncached;
+        std::uint64_t presence = 0;
+        NodeId owner = kNodeNone;
+        bool busy = false;
+    };
+
+    DirSnapshot snapshot(Addr blk_addr) const;
+
+    /** Is the block currently classified migratory (tests)? */
+    bool isMigratory(Addr blk_addr) const;
+
+    LockCtrl &locks() { return _locks; }
+    BarrierCtrl &barrier() { return _barrier; }
+
+    stats::Scalar readReqs;
+    stats::Scalar readExReqs;
+    stats::Scalar upgradeReqs;
+    stats::Scalar convertedUpgrades; ///< upgrades handled as ReadEx
+    stats::Scalar fetchesSent;
+    stats::Scalar invalidationsSent;
+    stats::Scalar writebacksRecv;
+    stats::Scalar queuedAtBusyEntry;
+    stats::Scalar migratoryDetected;   ///< blocks classified migratory
+    stats::Scalar migratoryGrants;     ///< reads served exclusively
+    stats::Scalar migratoryDemotions;  ///< read-only handoffs demoted
+
+  private:
+    struct DirEntry
+    {
+        enum class St : std::uint8_t { Uncached, Clean, Dirty };
+
+        St st = St::Uncached;
+        std::uint64_t presence = 0; ///< sharer bitmask (Clean)
+        NodeId owner = kNodeNone;   ///< owner (Dirty)
+
+        bool busy = false;
+        bool replayPending = false;   ///< a queued request is being replayed
+        NodeId fetchFrom = kNodeNone; ///< owner a fetch is pending from
+
+        // Migratory-sharing detection (cfg.migratoryOpt).
+        NodeId lastWriter = kNodeNone;
+        bool migratory = false;
+        std::uint8_t migEvidence = 0; ///< consecutive writer migrations
+        std::uint8_t migWasted = 0;   ///< exclusive grants never written
+        unsigned pendingAcks = 0;
+        Message pending;              ///< the request being serviced
+        std::deque<Message> waiting;  ///< queued while busy
+    };
+
+    /** Claim the memory bank, then run the directory operation. */
+    void process(const Message &m);
+
+    void handleCoherent(const Message &m);
+    void startOp(DirEntry &ent, const Message &m);
+    void startReadEx(DirEntry &ent, const Message &m, bool as_upgrade);
+
+    /** Data arrived home (FetchReply or a racing WritebackReq). */
+    void ownerDataArrived(DirEntry &ent, Addr addr, bool owner_kept_copy,
+                          bool owner_wrote);
+
+    /** Bookkeeping when a node gains exclusive ownership. */
+    void grantedExclusive(DirEntry &ent, NodeId req);
+
+    /** All invalidation acks collected. */
+    void acksComplete(DirEntry &ent, Addr addr);
+
+    /** Replay the next queued request, if any. */
+    void unblock(DirEntry &ent, Addr addr);
+
+    /** Send @p t to @p dst after @p extra ticks (DRAM latency etc.). */
+    void reply(MsgType t, NodeId dst, Addr addr, Tick extra);
+
+    void sendFetch(MsgType t, NodeId owner, Addr addr, NodeId requester);
+
+    static std::uint64_t bit(NodeId n) { return 1ULL << n; }
+
+    Machine &_m;
+    NodeId _id;
+    Resource _bank;
+    LockCtrl _locks;
+    BarrierCtrl _barrier;
+    std::unordered_map<Addr, DirEntry> _dir;
+};
+
+} // namespace psim
+
+#endif // PSIM_MEM_MEM_CTRL_HH

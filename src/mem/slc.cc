@@ -1,0 +1,568 @@
+#include "mem/slc.hh"
+
+#include "mem/flc.hh"
+#include "sim/logging.hh"
+#include "sys/cpu.hh"
+#include "sys/machine.hh"
+
+namespace psim
+{
+
+Slc::Slc(Machine &m, NodeId id, Flc &flc, Cpu &cpu)
+    : _m(m),
+      _id(id),
+      _flc(flc),
+      _cpu(cpu),
+      _array(m.cfg().slcSize, m.cfg().slcAssoc, m.cfg().blockSize),
+      _prefetcher(Prefetcher::create(m.cfg())),
+      _slwbCap(m.cfg().slwbEntries)
+{
+}
+
+Slc::Mshr *
+Slc::findMshr(Addr blk_addr)
+{
+    auto it = _mshrs.find(blk_addr);
+    return it == _mshrs.end() ? nullptr : &it->second;
+}
+
+bool
+Slc::hasPendingTransaction(Addr blk_addr) const
+{
+    return _mshrs.count(blk_addr) != 0;
+}
+
+double
+Slc::usefulPrefetches() const
+{
+    return pfUsefulTagged.value() + pfUsefulLate.value();
+}
+
+double
+Slc::prefetchEfficiency() const
+{
+    if (pfIssued.value() == 0)
+        return 1.0;
+    return usefulPrefetches() / pfIssued.value();
+}
+
+bool
+Slc::tryAccept(const FlwbEntry &e)
+{
+    const Tick now = _m.eq().now();
+
+    // The SLC tag array services one processor-side access per SRAM
+    // cycle; the FLWB must hold its head while an access is in flight.
+    if (now < _tagPort.freeAt())
+        return false;
+
+    const MachineConfig &cfg = _m.cfg();
+
+    switch (e.kind) {
+      case FlwbEntry::Kind::Lock:
+        sendToHome(MsgType::LockReq, e.addr, 0, false);
+        return true;
+      case FlwbEntry::Kind::Unlock:
+        sendToHome(MsgType::LockRel, e.addr, 0, false);
+        return true;
+      case FlwbEntry::Kind::BarrierArrive: {
+        Message m;
+        m.type = MsgType::BarrierArrive;
+        m.src = _id;
+        m.dst = cfg.homeOf(e.addr);
+        m.requester = _id;
+        m.addr = e.addr;
+        m.aux = e.aux;
+        _m.send(m);
+        return true;
+      }
+      case FlwbEntry::Kind::ReadMiss:
+      case FlwbEntry::Kind::Write: {
+        // Admission: the access needs a free SLWB slot unless it hits in
+        // the cache or merges with a pending transaction for its block.
+        Addr blk = cfg.blockAddr(e.addr);
+        if (!_array.find(blk) && !findMshr(blk) && mshrFull())
+            return false;
+        Tick start = _tagPort.claim(now, cfg.slcAccessLat);
+        Addr addr = e.addr;
+        Pc pc = e.pc;
+        bool is_read = e.kind == FlwbEntry::Kind::ReadMiss;
+        _m.eq().schedule(start + cfg.slcAccessLat, [this, addr, pc,
+                                                    is_read] {
+            if (is_read)
+                processRead(addr, pc);
+            else
+                processWrite(addr, pc);
+        });
+        return true;
+      }
+    }
+    psim_panic("bad FLWB entry kind");
+}
+
+void
+Slc::classifyMiss(Addr blk_addr)
+{
+    auto it = _history.find(blk_addr);
+    if (it == _history.end())
+        ++missesCold;
+    else if (it->second == Gone::Invalidated)
+        ++missesCoherence;
+    else
+        ++missesReplacement;
+}
+
+void
+Slc::processRead(Addr addr, Pc pc)
+{
+    const MachineConfig &cfg = _m.cfg();
+    const Tick now = _m.eq().now();
+    Addr blk_addr = cfg.blockAddr(addr);
+    ++demandReads;
+
+    CacheBlk *blk = _array.find(blk_addr);
+    bool hit = blk != nullptr;
+    bool tagged = false;
+
+    if (_traceSink) {
+        TraceRecord rec;
+        rec.tick = now;
+        rec.pc = pc;
+        rec.addr = addr;
+        rec.node = _id;
+        rec.kind = TraceRecord::Kind::Read;
+        rec.hit = hit;
+        _traceSink(rec);
+    }
+
+    if (hit) {
+        if (blk->prefetched) {
+            // Demand hit on a prefetched block: the prefetch was useful.
+            // Clear the tag and let the prefetcher run ahead.
+            blk->prefetched = false;
+            tagged = true;
+            ++pfUsefulTagged;
+            reportOutcome(blk, true);
+        }
+        _array.touch(blk, now);
+        _m.eq().scheduleIn(cfg.slcToCpuLat,
+                [this, addr] { _cpu.readComplete(addr); });
+    } else {
+        if (Mshr *e = findMshr(blk_addr)) {
+            // The block is already on its way; the read rides the
+            // pending transaction and issues no request of its own, so
+            // it does not count as a read miss (its residual wait shows
+            // up in the read stall time instead).
+            switch (e->kind) {
+              case Mshr::Kind::Prefetch:
+                ++pfUsefulLate;
+                _prefetcher->notePrefetchOutcome(true, true);
+                e->demandWaiting = true;
+                e->demandAddr = addr;
+                break;
+              case Mshr::Kind::Write:
+                e->demandWaiting = true;
+                e->demandAddr = addr;
+                break;
+              case Mshr::Kind::Read:
+                psim_panic("two demand reads in flight on node %u", _id);
+            }
+        } else {
+            ++demandReadMisses;
+            if (_characterizer)
+                _characterizer->observeMiss(pc, addr);
+            classifyMiss(blk_addr);
+            Mshr fresh;
+            fresh.kind = Mshr::Kind::Read;
+            fresh.blkAddr = blk_addr;
+            fresh.pc = pc;
+            fresh.demandAddr = addr;
+            fresh.demandWaiting = true;
+            _mshrs.emplace(blk_addr, fresh);
+            sendToHome(MsgType::ReadReq, blk_addr, pc, false);
+        }
+    }
+
+    // Train the prefetcher on every read presented to the SLC and act
+    // on its candidates.
+    _candidateBuf.clear();
+    ReadObservation obs;
+    obs.pc = pc;
+    obs.addr = addr;
+    obs.hit = hit;
+    obs.taggedHit = tagged;
+    _prefetcher->observeRead(obs, _candidateBuf);
+    if (!_candidateBuf.empty())
+        maybePrefetch(addr, pc, _candidateBuf);
+}
+
+void
+Slc::processWrite(Addr addr, Pc pc)
+{
+    const MachineConfig &cfg = _m.cfg();
+    const Tick now = _m.eq().now();
+    Addr blk_addr = cfg.blockAddr(addr);
+    ++writeRequests;
+
+    CacheBlk *blk = _array.find(blk_addr);
+    if (_traceSink) {
+        TraceRecord rec;
+        rec.tick = now;
+        rec.pc = pc;
+        rec.addr = addr;
+        rec.node = _id;
+        rec.kind = TraceRecord::Kind::Write;
+        rec.hit = blk != nullptr;
+        _traceSink(rec);
+    }
+    if (blk) {
+        if (blk->prefetched) {
+            blk->prefetched = false;
+            ++pfWriteHitTagged;
+            reportOutcome(blk, true);
+        }
+        _array.touch(blk, now);
+        if (blk->state == CohState::Modified) {
+            blk->written = true;
+            _cpu.storePerformed();
+            return;
+        }
+        // Shared: needs ownership.
+        psim_assert(blk->state == CohState::Shared, "bad state on write");
+        if (Mshr *e = findMshr(blk_addr)) {
+            psim_assert(e->kind == Mshr::Kind::Write,
+                    "resident block with non-write transaction");
+            ++e->pendingStores;
+            return;
+        }
+        ++upgrades;
+        Mshr e;
+        e.kind = Mshr::Kind::Write;
+        e.blkAddr = blk_addr;
+        e.pc = pc;
+        e.upgrade = true;
+        e.pendingStores = 1;
+        _mshrs.emplace(blk_addr, e);
+        sendToHome(MsgType::UpgradeReq, blk_addr, pc, false);
+        return;
+    }
+
+    if (Mshr *e = findMshr(blk_addr)) {
+        if (e->kind == Mshr::Kind::Write) {
+            ++e->pendingStores;
+        } else {
+            // A read or prefetch is in flight; the store completes after
+            // the fill by upgrading the block.
+            ++e->deferredStores;
+        }
+        return;
+    }
+
+    ++writeMisses;
+    Mshr e;
+    e.kind = Mshr::Kind::Write;
+    e.blkAddr = blk_addr;
+    e.pc = pc;
+    e.upgrade = false;
+    e.pendingStores = 1;
+    _mshrs.emplace(blk_addr, e);
+    sendToHome(MsgType::ReadExReq, blk_addr, pc, false);
+}
+
+void
+Slc::maybePrefetch(Addr trigger_addr, Pc pc,
+                   const std::vector<Addr> &candidates)
+{
+    const MachineConfig &cfg = _m.cfg();
+    Addr trigger_blk = cfg.blockAddr(trigger_addr);
+    Addr trigger_page = cfg.pageAddr(trigger_addr);
+
+    for (Addr cand : candidates) {
+        Addr blk = cfg.blockAddr(cand);
+        if (blk == trigger_blk)
+            continue;
+        if (cfg.pageAddr(cand) != trigger_page) {
+            // Never prefetch across a page boundary (Section 2).
+            ++pfDropPageCross;
+            continue;
+        }
+        if (_array.find(blk)) {
+            ++pfDropInCache;
+            continue;
+        }
+        if (findMshr(blk)) {
+            ++pfDropPending;
+            continue;
+        }
+        if (_mshrs.size() + 1 >= _slwbCap) {
+            // Keep the last SLWB slot free for demand accesses.
+            ++pfDropNoSlot;
+            continue;
+        }
+        Mshr e;
+        e.kind = Mshr::Kind::Prefetch;
+        e.blkAddr = blk;
+        e.pc = pc;
+        _mshrs.emplace(blk, e);
+        ++pfIssued;
+        _recentPrefetches.push_back(blk);
+        sendToHome(MsgType::ReadReq, blk, pc, true);
+    }
+    agePrefetches();
+}
+
+void
+Slc::reportOutcome(CacheBlk *blk, bool useful)
+{
+    if (blk->outcomeReported)
+        return;
+    blk->outcomeReported = true;
+    _prefetcher->notePrefetchOutcome(useful);
+}
+
+void
+Slc::agePrefetches()
+{
+    // Bounded-delay negative feedback: once a prefetched block is 64
+    // issues old and still untouched, tell the prefetcher it was
+    // useless so adaptive schemes can throttle. The block itself stays
+    // tagged (the miss-count statistics are unaffected).
+    constexpr std::size_t kRingCap = 64;
+    while (_recentPrefetches.size() > kRingCap) {
+        Addr a = _recentPrefetches.front();
+        _recentPrefetches.pop_front();
+        CacheBlk *blk = _array.find(a);
+        if (blk && blk->prefetched)
+            reportOutcome(blk, false);
+    }
+}
+
+void
+Slc::sendToHome(MsgType t, Addr blk_addr, Pc pc, bool prefetch)
+{
+    Message m;
+    m.type = t;
+    m.src = _id;
+    m.dst = _m.cfg().homeOf(blk_addr);
+    m.requester = _id;
+    m.addr = blk_addr;
+    m.pc = pc;
+    m.prefetch = prefetch;
+    _m.send(m);
+}
+
+void
+Slc::invalidateBlock(CacheBlk *blk, bool replacement)
+{
+    if (blk->prefetched) {
+        if (replacement)
+            ++pfUselessReplaced;
+        else
+            ++pfUselessInvalidated;
+        reportOutcome(blk, false);
+    }
+    _history[blk->addr] = replacement ? Gone::Replaced : Gone::Invalidated;
+    _flc.invalidate(blk->addr);
+    _array.invalidate(blk);
+}
+
+void
+Slc::makeRoom(Addr blk_addr)
+{
+    CacheBlk *frame = _array.findVictim(blk_addr);
+    if (frame->valid() && frame->addr != blk_addr) {
+        if (frame->state == CohState::Modified) {
+            ++writebacks;
+            _wbPending.insert(frame->addr);
+            sendToHome(MsgType::WritebackReq, frame->addr, 0, false);
+        }
+        invalidateBlock(frame, true);
+    }
+}
+
+void
+Slc::completeStores(Mshr &e)
+{
+    for (unsigned i = 0; i < e.pendingStores; ++i)
+        _cpu.storePerformed();
+    e.pendingStores = 0;
+}
+
+void
+Slc::handleFill(const Message &m, bool exclusive)
+{
+    const MachineConfig &cfg = _m.cfg();
+    const Tick now = _m.eq().now();
+    Addr blk_addr = m.addr;
+
+    Mshr *e = findMshr(blk_addr);
+    psim_assert(e, "node %u: unsolicited fill for %llx", _id,
+            (unsigned long long)blk_addr);
+    psim_assert(!_array.find(blk_addr),
+            "node %u: fill for resident block %llx", _id,
+            (unsigned long long)blk_addr);
+
+    makeRoom(blk_addr);
+    CacheBlk *frame = _array.findVictim(blk_addr);
+    _array.fill(frame, blk_addr, exclusive ? CohState::Modified
+                                           : CohState::Shared, now);
+    _history.erase(blk_addr);
+
+    bool is_pure_prefetch =
+            e->kind == Mshr::Kind::Prefetch && !e->demandWaiting;
+    if (is_pure_prefetch)
+        frame->prefetched = true;
+
+    if (e->demandWaiting) {
+        Addr daddr = e->demandAddr;
+        _m.eq().scheduleIn(cfg.slcToCpuLat,
+                [this, daddr] { _cpu.readComplete(daddr); });
+    }
+
+    if (e->kind == Mshr::Kind::Write) {
+        psim_assert(exclusive, "write transaction filled shared");
+        frame->written = true;
+        completeStores(*e);
+        _mshrs.erase(blk_addr);
+        return;
+    }
+
+    if (e->deferredStores > 0) {
+        // Stores arrived while the read/prefetch was in flight; they
+        // retire by upgrading the freshly filled block.
+        if (exclusive) {
+            frame->state = CohState::Modified;
+            frame->written = true;
+            completeStores(*e);
+            _mshrs.erase(blk_addr);
+            return;
+        }
+        if (is_pure_prefetch) {
+            // The deferred store is what consumes this prefetch: its
+            // data arrived, only ownership is still missing. Account
+            // it like a store hit on a tagged block.
+            ++pfWriteHitTagged;
+            reportOutcome(frame, true);
+        }
+        frame->prefetched = false;
+        ++upgrades;
+        e->kind = Mshr::Kind::Write;
+        e->upgrade = true;
+        e->pendingStores = e->deferredStores;
+        e->deferredStores = 0;
+        e->demandWaiting = false;
+        sendToHome(MsgType::UpgradeReq, blk_addr, e->pc, false);
+        return;
+    }
+
+    _mshrs.erase(blk_addr);
+}
+
+void
+Slc::receive(const Message &m)
+{
+    switch (m.type) {
+      case MsgType::DataReply:
+        handleFill(m, false);
+        return;
+      case MsgType::DataExReply:
+        handleFill(m, true);
+        return;
+      case MsgType::UpgradeAck: {
+        Mshr *e = findMshr(m.addr);
+        psim_assert(e && e->kind == Mshr::Kind::Write && e->upgrade,
+                "node %u: spurious upgrade ack", _id);
+        CacheBlk *blk = _array.find(m.addr);
+        if (blk) {
+            psim_assert(blk->state == CohState::Shared,
+                    "node %u: upgrade ack on non-shared copy", _id);
+            blk->state = CohState::Modified;
+            blk->written = true;
+        } else {
+            // A finite SLC silently evicted the shared copy while the
+            // upgrade was in flight. Upgrades are only granted from
+            // the Clean directory state, so the home's memory copy is
+            // valid and the block is reinstalled directly in Modified.
+            makeRoom(m.addr);
+            CacheBlk *frame = _array.findVictim(m.addr);
+            _array.fill(frame, m.addr, CohState::Modified,
+                        _m.eq().now());
+            frame->written = true;
+            _history.erase(m.addr);
+        }
+        if (e->demandWaiting) {
+            // A read missed on the silently evicted copy and merged
+            // with this upgrade; the ack carries ownership of valid
+            // memory data, so the read completes now.
+            Addr daddr = e->demandAddr;
+            _m.eq().scheduleIn(_m.cfg().slcToCpuLat,
+                    [this, daddr] { _cpu.readComplete(daddr); });
+        }
+        completeStores(*e);
+        _mshrs.erase(m.addr);
+        return;
+      }
+      case MsgType::FetchReq:
+      case MsgType::FetchInvReq: {
+        CacheBlk *blk = _array.find(m.addr);
+        if (!blk) {
+            // Our writeback passed this fetch in flight; the home will
+            // use the writeback as the reply.
+            psim_assert(_wbPending.count(m.addr),
+                    "node %u: fetch for absent block %llx", _id,
+                    (unsigned long long)m.addr);
+            return;
+        }
+        psim_assert(blk->state == CohState::Modified,
+                "node %u: fetch for non-owned block", _id);
+        bool was_written = blk->written;
+        if (m.type == MsgType::FetchReq) {
+            blk->state = CohState::Shared;
+            blk->written = false;
+        } else {
+            invalidateBlock(blk, false);
+        }
+        Message reply;
+        reply.type = MsgType::FetchReply;
+        reply.src = _id;
+        reply.dst = m.src;
+        reply.requester = m.requester;
+        reply.addr = m.addr;
+        // Tell the home whether this copy was actually stored to --
+        // the migratory-sharing detector demotes on read-only handoffs.
+        reply.aux = was_written ? 1 : 0;
+        _m.send(reply);
+        return;
+      }
+      case MsgType::InvReq: {
+        ++invalidationsRecv;
+        if (CacheBlk *blk = _array.find(m.addr))
+            invalidateBlock(blk, false);
+        Message ack;
+        ack.type = MsgType::InvAck;
+        ack.src = _id;
+        ack.dst = m.src;
+        ack.requester = m.requester;
+        ack.addr = m.addr;
+        _m.send(ack);
+        return;
+      }
+      case MsgType::WritebackAck:
+        _wbPending.erase(m.addr);
+        return;
+      default:
+        psim_panic("node %u SLC: unexpected message %s", _id,
+                toString(m.type));
+    }
+}
+
+void
+Slc::finalizeStats()
+{
+    _array.forEach([this](const CacheBlk &blk) {
+        if (blk.prefetched)
+            ++pfUselessUnused;
+    });
+}
+
+} // namespace psim

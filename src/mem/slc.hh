@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Second-level cache (paper Section 2).
+ *
+ * A write-back, lockup-free cache: the SLWB holds one entry per pending
+ * transaction (demand read, prefetch, write-ownership), so the cache
+ * keeps servicing requests while misses are outstanding -- the property
+ * that makes non-binding prefetching possible at all.
+ *
+ * The prefetcher attaches here and observes exactly the read requests
+ * the FLC presents to the SLC. Prefetched blocks carry the 1-bit
+ * "prefetched" tag of Section 3.3; a demand hit on a tagged block clears
+ * the bit, counts the prefetch useful, and asks the prefetcher for the
+ * continuation. Prefetch candidates are dropped when they would cross
+ * the triggering access's page, already hit in the cache, match a
+ * pending transaction, or when no SLWB entry is free.
+ */
+
+#ifndef PSIM_MEM_SLC_HH
+#define PSIM_MEM_SLC_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/characterizer.hh"
+#include "trace/trace.hh"
+#include "core/prefetcher.hh"
+#include "mem/cache_array.hh"
+#include "mem/write_buffer.hh"
+#include "proto/message.hh"
+#include "sim/resource.hh"
+#include "sim/stats.hh"
+
+namespace psim
+{
+
+class Machine;
+class Cpu;
+class Flc;
+
+class Slc
+{
+  public:
+    Slc(Machine &m, NodeId id, Flc &flc, Cpu &cpu);
+
+    /**
+     * Present the FLWB head entry. @return false when the entry needs a
+     * pending-transaction (SLWB) slot and none is free; the FLWB retries.
+     */
+    bool tryAccept(const FlwbEntry &e);
+
+    /** A coherence message delivered over the local bus. */
+    void receive(const Message &m);
+
+    /** Optional Table-2/3 analysis of this node's demand-miss stream. */
+    void
+    setCharacterizer(StrideCharacterizer *c)
+    {
+        _characterizer = c;
+    }
+
+    /** Optional sink receiving every request presented to this SLC. */
+    void
+    setTraceSink(std::function<void(const TraceRecord &)> sink)
+    {
+        _traceSink = std::move(sink);
+    }
+
+    /** Count still-tagged blocks as useless at end of simulation. */
+    void finalizeStats();
+
+    Prefetcher &prefetcher() { return *_prefetcher; }
+
+    /** Resident state of a block (tests / invariant checks). */
+    CohState
+    stateOf(Addr blk_addr) const
+    {
+        const CacheBlk *b = _array.find(blk_addr);
+        return b ? b->state : CohState::Invalid;
+    }
+
+    bool hasPendingTransaction(Addr blk_addr) const;
+    std::size_t pendingTransactions() const { return _mshrs.size(); }
+
+    const CacheArray &array() const { return _array; }
+
+    // ---- statistics ----
+
+    stats::Scalar demandReads;        ///< read requests presented by FLC
+    stats::Scalar demandReadMisses;   ///< the paper's "read misses"
+    stats::Scalar missesCold;
+    stats::Scalar missesCoherence;
+    stats::Scalar missesReplacement;
+    stats::Scalar writeRequests;
+    stats::Scalar writeMisses;        ///< stores needing ReadEx
+    stats::Scalar upgrades;           ///< stores needing S->M upgrade
+    stats::Scalar writebacks;
+    stats::Scalar invalidationsRecv;
+
+    stats::Scalar pfIssued;           ///< prefetch requests sent
+    stats::Scalar pfUsefulTagged;     ///< demand hit on a tagged block
+    stats::Scalar pfUsefulLate;       ///< demand merged with a pending pf
+    stats::Scalar pfWriteHitTagged;   ///< store hit on a tagged block
+    stats::Scalar pfUselessInvalidated;
+    stats::Scalar pfUselessReplaced;
+    stats::Scalar pfUselessUnused;    ///< still tagged at end of run
+    stats::Scalar pfDropInCache;
+    stats::Scalar pfDropPending;
+    stats::Scalar pfDropPageCross;
+    stats::Scalar pfDropNoSlot;
+
+    /** Useful prefetches (paper's prefetch-efficiency numerator). */
+    double usefulPrefetches() const;
+    /** Prefetch efficiency: useful / issued (1.0 when none issued). */
+    double prefetchEfficiency() const;
+
+  private:
+    struct Mshr
+    {
+        enum class Kind : std::uint8_t { Read, Prefetch, Write };
+
+        Kind kind = Kind::Read;
+        Addr blkAddr = 0;
+        Pc pc = 0;
+        Addr demandAddr = 0;     ///< byte address the processor wanted
+        bool demandWaiting = false;
+        bool upgrade = false;    ///< Write entry issued as UpgradeReq
+        unsigned pendingStores = 0;
+        unsigned deferredStores = 0; ///< stores arriving during a read
+    };
+
+    bool mshrFull() const { return _mshrs.size() >= _slwbCap; }
+    Mshr *findMshr(Addr blk_addr);
+
+    /** FLWB-side processing after the tag-array access completes. */
+    void processRead(Addr addr, Pc pc);
+    void processWrite(Addr addr, Pc pc);
+
+    void classifyMiss(Addr blk_addr);
+    void maybePrefetch(Addr trigger_addr, Pc pc,
+                       const std::vector<Addr> &candidates);
+    void sendToHome(MsgType t, Addr blk_addr, Pc pc, bool prefetch);
+    void handleFill(const Message &m, bool exclusive);
+    void completeStores(Mshr &e);
+    /** Make room for a fill; handles writeback of a Modified victim. */
+    void makeRoom(Addr blk_addr);
+    void invalidateBlock(CacheBlk *blk, bool replacement);
+
+    Machine &_m;
+    NodeId _id;
+    Flc &_flc;
+    Cpu &_cpu;
+    std::function<void(const TraceRecord &)> _traceSink;
+    CacheArray _array;
+    std::unique_ptr<Prefetcher> _prefetcher;
+    StrideCharacterizer *_characterizer = nullptr;
+
+    /**
+     * Report an outcome for one prefetched block exactly once: true the
+     * first time a demand access consumes it, false the first time it
+     * is invalidated, replaced, or ages out of the recent-prefetch ring
+     * still untouched (bounded-delay feedback for adaptive schemes).
+     */
+    void reportOutcome(CacheBlk *blk, bool useful);
+
+    /** Age the oldest tracked prefetches (called on each new issue). */
+    void agePrefetches();
+
+    std::size_t _slwbCap;
+    std::unordered_map<Addr, Mshr> _mshrs;
+    std::unordered_set<Addr> _wbPending; ///< writebacks awaiting ack
+    std::deque<Addr> _recentPrefetches;  ///< issue-order ring for aging
+
+    /** Tag-array port: serializes FLWB-side and fill accesses. */
+    Resource _tagPort;
+
+    /** Miss classification history: why a block last left the cache. */
+    enum class Gone : std::uint8_t { Invalidated, Replaced };
+    std::unordered_map<Addr, Gone> _history;
+
+    std::vector<Addr> _candidateBuf; ///< scratch, avoids allocation
+};
+
+} // namespace psim
+
+#endif // PSIM_MEM_SLC_HH

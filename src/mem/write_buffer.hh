@@ -1,0 +1,124 @@
+/**
+ * @file
+ * First-level write buffer (FLWB).
+ *
+ * Buffers write, synchronization and read-miss requests issued by the
+ * FLC in FIFO order (paper Section 2) and drains them to the SLC. The
+ * consumer (the SLC) may refuse an entry when it is out of pending-
+ * request (SLWB) entries; the buffer then retries, preserving order.
+ */
+
+#ifndef PSIM_MEM_WRITE_BUFFER_HH
+#define PSIM_MEM_WRITE_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace psim
+{
+
+struct FlwbEntry
+{
+    enum class Kind : std::uint8_t
+    {
+        Write,
+        ReadMiss,
+        Lock,
+        Unlock,
+        BarrierArrive,
+    };
+
+    Kind kind = Kind::Write;
+    Addr addr = 0;
+    Pc pc = 0;
+    std::uint32_t aux = 0; ///< barrier participant count
+};
+
+class Flwb
+{
+  public:
+    /**
+     * @param try_consume presents the head entry to the SLC; returns
+     *        false if the SLC cannot accept it yet
+     * @param on_space invoked whenever an entry drains (a stalled
+     *        processor can retry its enqueue)
+     */
+    Flwb(EventQueue &eq, const MachineConfig &cfg)
+        : _eq(eq), _cfg(cfg)
+    {
+    }
+
+    void
+    setConsumer(std::function<bool(const FlwbEntry &)> try_consume)
+    {
+        _tryConsume = std::move(try_consume);
+    }
+
+    void
+    setSpaceCallback(std::function<void()> on_space)
+    {
+        _onSpace = std::move(on_space);
+    }
+
+    bool full() const { return _q.size() >= _cfg.flwbEntries; }
+    bool empty() const { return _q.empty(); }
+    std::size_t size() const { return _q.size(); }
+
+    /** Enqueue an entry. @pre !full() */
+    void
+    push(const FlwbEntry &e)
+    {
+        psim_assert(!full(), "FLWB overflow");
+        _q.push_back(e);
+        ++pushes;
+        occupancy.sample(static_cast<double>(_q.size()));
+        if (!_pumping)
+            schedulePump(_cfg.flwbLat);
+    }
+
+    stats::Scalar pushes;
+    stats::Scalar retries;
+    stats::Average occupancy;
+
+  private:
+    void
+    schedulePump(Tick delay)
+    {
+        _pumping = true;
+        _eq.scheduleIn(delay, [this] { pump(); });
+    }
+
+    void
+    pump()
+    {
+        _pumping = false;
+        if (_q.empty())
+            return;
+        if (_tryConsume(_q.front())) {
+            _q.pop_front();
+            if (_onSpace)
+                _onSpace();
+            if (!_q.empty())
+                schedulePump(_cfg.flwbLat);
+        } else {
+            ++retries;
+            schedulePump(_cfg.busCycle);
+        }
+    }
+
+    EventQueue &_eq;
+    const MachineConfig &_cfg;
+    std::function<bool(const FlwbEntry &)> _tryConsume;
+    std::function<void()> _onSpace;
+    std::deque<FlwbEntry> _q;
+    bool _pumping = false;
+};
+
+} // namespace psim
+
+#endif // PSIM_MEM_WRITE_BUFFER_HH

@@ -1,0 +1,105 @@
+#include "net/mesh.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace psim
+{
+
+Mesh::Mesh(EventQueue &eq, const MachineConfig &cfg)
+    : _eq(eq), _cfg(cfg), _links(static_cast<std::size_t>(cfg.numProcs) * 4)
+{
+}
+
+Mesh::Coord
+Mesh::coordOf(NodeId n) const
+{
+    return Coord{static_cast<int>(n % _cfg.meshCols),
+                 static_cast<int>(n / _cfg.meshCols)};
+}
+
+NodeId
+Mesh::nodeOf(int x, int y) const
+{
+    return static_cast<NodeId>(y * static_cast<int>(_cfg.meshCols) + x);
+}
+
+std::size_t
+Mesh::linkIndex(NodeId a, NodeId b) const
+{
+    Coord ca = coordOf(a);
+    Coord cb = coordOf(b);
+    unsigned dir;
+    if (cb.x == ca.x + 1 && cb.y == ca.y) {
+        dir = 0; // east
+    } else if (cb.x == ca.x - 1 && cb.y == ca.y) {
+        dir = 1; // west
+    } else if (cb.y == ca.y + 1 && cb.x == ca.x) {
+        dir = 2; // south
+    } else if (cb.y == ca.y - 1 && cb.x == ca.x) {
+        dir = 3; // north
+    } else {
+        psim_panic("nodes %u and %u are not mesh neighbours", a, b);
+    }
+    return static_cast<std::size_t>(a) * 4 + dir;
+}
+
+std::vector<NodeId>
+Mesh::route(NodeId src, NodeId dst) const
+{
+    std::vector<NodeId> path;
+    Coord cur = coordOf(src);
+    Coord end = coordOf(dst);
+    path.push_back(src);
+    while (cur.x != end.x) {
+        cur.x += (end.x > cur.x) ? 1 : -1;
+        path.push_back(nodeOf(cur.x, cur.y));
+    }
+    while (cur.y != end.y) {
+        cur.y += (end.y > cur.y) ? 1 : -1;
+        path.push_back(nodeOf(cur.x, cur.y));
+    }
+    return path;
+}
+
+unsigned
+Mesh::hops(NodeId src, NodeId dst) const
+{
+    Coord a = coordOf(src);
+    Coord b = coordOf(dst);
+    return static_cast<unsigned>(std::abs(a.x - b.x) +
+                                 std::abs(a.y - b.y));
+}
+
+void
+Mesh::send(NodeId src, NodeId dst, unsigned flits, DeliverFn deliver)
+{
+    psim_assert(src != dst, "mesh send to self");
+    psim_assert(src < _cfg.numProcs && dst < _cfg.numProcs,
+            "mesh send %u -> %u out of range", src, dst);
+
+    const Tick now = _eq.now();
+    const Tick worm = static_cast<Tick>(flits) * _cfg.netCycle;
+
+    // Walk the head flit across the path. At each hop the head waits for
+    // the link to become free (wormhole back-pressure approximation) and
+    // pays the node fall-through latency; the worm body then holds the
+    // link for `flits` network cycles.
+    std::vector<NodeId> path = route(src, dst);
+    Tick head = now;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        Resource &link = _links[linkIndex(path[i], path[i + 1])];
+        Tick start = link.claim(head, worm);
+        head = start + _cfg.fallThrough * _cfg.netCycle;
+    }
+    Tick arrival = head + worm;
+
+    ++messages;
+    flitsInjected += static_cast<double>(flits);
+    msgLatency.sample(static_cast<double>(arrival - now));
+
+    _eq.schedule(arrival, std::move(deliver));
+}
+
+} // namespace psim

@@ -1,0 +1,68 @@
+#include "sim/config.hh"
+
+#include "sim/logging.hh"
+
+namespace psim
+{
+
+const char *
+toString(PrefetchScheme s)
+{
+    switch (s) {
+      case PrefetchScheme::None:
+        return "baseline";
+      case PrefetchScheme::Sequential:
+        return "seq";
+      case PrefetchScheme::IDet:
+        return "i-det";
+      case PrefetchScheme::DDet:
+        return "d-det";
+      case PrefetchScheme::Adaptive:
+        return "adaptive";
+      case PrefetchScheme::IDetLookahead:
+        return "i-det-la";
+    }
+    return "?";
+}
+
+PrefetchScheme
+parseScheme(const std::string &name)
+{
+    if (name == "none" || name == "baseline")
+        return PrefetchScheme::None;
+    if (name == "seq" || name == "sequential")
+        return PrefetchScheme::Sequential;
+    if (name == "idet" || name == "i-det")
+        return PrefetchScheme::IDet;
+    if (name == "ddet" || name == "d-det")
+        return PrefetchScheme::DDet;
+    if (name == "adaptive" || name == "adaptive-seq")
+        return PrefetchScheme::Adaptive;
+    if (name == "idet-la" || name == "i-det-la" || name == "lookahead")
+        return PrefetchScheme::IDetLookahead;
+    psim_fatal("unknown prefetch scheme '%s'", name.c_str());
+}
+
+void
+MachineConfig::validate() const
+{
+    if (!isPowerOf2(blockSize))
+        psim_fatal("block size %u is not a power of two", blockSize);
+    if (!isPowerOf2(pageSize) || pageSize < blockSize)
+        psim_fatal("bad page size %u", pageSize);
+    if (!isPowerOf2(flcSize) || flcSize < blockSize)
+        psim_fatal("bad FLC size %u", flcSize);
+    if (slcSize != 0 && (!isPowerOf2(slcSize) || slcSize < blockSize))
+        psim_fatal("bad SLC size %u", slcSize);
+    if (numProcs == 0 || meshCols == 0 || numProcs % meshCols != 0)
+        psim_fatal("mesh %u nodes / %u columns does not tile", numProcs,
+                   meshCols);
+    if (flwbEntries == 0 || slwbEntries == 0)
+        psim_fatal("write buffers need at least one entry");
+    if (prefetch.degree == 0)
+        psim_fatal("degree of prefetching must be >= 1");
+    if (flitBits % 8 != 0)
+        psim_fatal("flit size must be whole bytes");
+}
+
+} // namespace psim

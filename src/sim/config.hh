@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Machine configuration.
+ *
+ * Defaults reproduce Table 1 of the paper: 16 processors, 4 KB FLC,
+ * 32 B blocks, infinite SLC, 4 KB pages allocated round-robin, a 256-bit
+ * 33 MHz local bus, 90 ns memory and a 4x4 wormhole mesh at 100 MHz with
+ * 32-bit flits and a 3-cycle node fall-through.
+ */
+
+#ifndef PSIM_SIM_CONFIG_HH
+#define PSIM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace psim
+{
+
+/** Which prefetching scheme the SLCs run. */
+enum class PrefetchScheme
+{
+    None,       ///< baseline architecture, no prefetching
+    Sequential, ///< prefetch the next d consecutive blocks
+    IDet,       ///< RPT-based stride prefetching (Baer/Chen style)
+    DDet,       ///< Hagersten data-address stride detection
+    Adaptive,   ///< sequential with usefulness-adapted degree (Sec. 6)
+    IDetLookahead, ///< Baer/Chen lookahead-PC stride scheme (Sec. 6)
+};
+
+/** Human-readable scheme name as used in the paper's figures. */
+const char *toString(PrefetchScheme s);
+
+/** Parse a scheme name ("none", "seq", "idet", "ddet"). */
+PrefetchScheme parseScheme(const std::string &name);
+
+struct PrefetchConfig
+{
+    PrefetchScheme scheme = PrefetchScheme::None;
+
+    /** Degree of prefetching d; the paper's headline results use 1. */
+    unsigned degree = 1;
+
+    /** RPT entries (I-detection); paper: 256, direct-mapped. */
+    unsigned rptEntries = 256;
+
+    /** Entries in each of Hagersten's four tables; paper: 16, LRU. */
+    unsigned ddetEntries = 16;
+
+    /**
+     * Occurrences of a stride before it is recorded as common
+     * (D-detection); paper: 3.
+     */
+    unsigned strideThreshold = 3;
+
+    /** Maximum degree for the adaptive sequential scheme. */
+    unsigned adaptiveMaxDegree = 8;
+
+    /**
+     * Strides the virtual lookahead PC runs ahead of the processor
+     * (lookahead I-detection variant).
+     */
+    unsigned lookaheadStrides = 2;
+
+    /** Prefetch outcomes per adaptation decision (adaptive scheme). */
+    unsigned adaptiveWindow = 16;
+};
+
+struct MachineConfig
+{
+    /** Number of processing nodes; paper: 16 (4x4 mesh). */
+    unsigned numProcs = 16;
+
+    /** Cache block size for both FLC and SLC; paper: 32 bytes. */
+    unsigned blockSize = 32;
+
+    /** First-level cache size; paper: 4 Kbyte, direct-mapped. */
+    unsigned flcSize = 4096;
+
+    /**
+     * Second-level cache size in bytes; 0 means infinite (the paper's
+     * default). Section 5.3 uses 16 Kbyte direct-mapped.
+     */
+    unsigned slcSize = 0;
+
+    /** SLC associativity when finite; paper: direct-mapped. */
+    unsigned slcAssoc = 1;
+
+    /** Virtual-memory page size; paper: 4 Kbyte, round-robin homes. */
+    unsigned pageSize = 4096;
+
+    /** First-level write buffer entries; paper: 8. */
+    unsigned flwbEntries = 8;
+
+    /** Second-level write buffer (pending-transaction) entries; paper: 16. */
+    unsigned slwbEntries = 16;
+
+    // ---- Timing (ticks are pclocks; 1 pclock = 10 ns) ----
+
+    /** FLC read hit; paper: 1 pclock. */
+    Tick flcReadLat = 1;
+
+    /** FLC fill time; paper: 3 pclocks. */
+    Tick flcFillLat = 3;
+
+    /** SLC SRAM access; paper: 30 ns = 3 pclocks. */
+    Tick slcAccessLat = 3;
+
+    /**
+     * Latency from FLC miss detection to the request being presented to
+     * the SLC (FLWB traversal). Calibrated so an SLC hit totals the
+     * paper's 6 pclocks: 1 (FLC) + 1 (FLWB) + 3 (SRAM) + 1 (return).
+     */
+    Tick flwbLat = 1;
+
+    /** Returning data from SLC to the processor. */
+    Tick slcToCpuLat = 1;
+
+    /** DRAM access time; paper: 90 ns = 9 pclocks. */
+    Tick memAccessLat = 9;
+
+    /** Directory state lookup/update overhead at the home memory. */
+    Tick dirLat = 1;
+
+    /** Local split-transaction bus cycle; paper: 33 MHz = 3 pclocks. */
+    Tick busCycle = 3;
+
+    /**
+     * Bus cycles for one transaction phase. The bus is 256 bits wide, so
+     * one address phase and one data phase (32 B block) each take a
+     * single bus cycle. Calibrated so a clean local-memory read totals
+     * the paper's 28 pclocks (see tests/test_latency.cc).
+     */
+    unsigned busPhaseCycles = 1;
+
+    // ---- Network (paper Section 4) ----
+
+    /** Mesh columns (4x4 for 16 nodes). */
+    unsigned meshCols = 4;
+
+    /** Flit size in bits; paper: 32. */
+    unsigned flitBits = 32;
+
+    /** Node fall-through latency in network cycles; paper: 3. */
+    Tick fallThrough = 3;
+
+    /** Network clock in pclocks per cycle; paper: 100 MHz = 1 pclock. */
+    Tick netCycle = 1;
+
+    /** Header flits on every message (routing + command + address). */
+    unsigned headerFlits = 2;
+
+    // ---- Consistency & protocol options ----
+
+    /**
+     * Sequential consistency: stores stall the processor until they
+     * are globally performed. The paper assumes release consistency
+     * (citing Gharachorloo et al. [11]); this switch quantifies why.
+     */
+    bool sequentialConsistency = false;
+
+    /**
+     * Migratory-sharing optimization at the directory (the protocol
+     * extension the authors combine with prefetching in their ISCA'94
+     * companion paper): blocks observed to migrate between writers are
+     * handed to readers in exclusive state, eliminating the upgrade.
+     */
+    bool migratoryOpt = false;
+
+    // ---- Prefetching ----
+
+    PrefetchConfig prefetch;
+
+    /** PRNG seed so runs are reproducible. */
+    std::uint64_t seed = 12345;
+
+    // ---- Derived helpers ----
+
+    Addr blockAddr(Addr a) const { return alignDown(a, blockSize); }
+    Addr pageAddr(Addr a) const { return alignDown(a, pageSize); }
+
+    /** Home node of the page containing @p a (round-robin placement). */
+    NodeId
+    homeOf(Addr a) const
+    {
+        return static_cast<NodeId>((a / pageSize) % numProcs);
+    }
+
+    /** Number of flits in a message carrying @p payload_bytes of data. */
+    unsigned
+    flitsFor(unsigned payload_bytes) const
+    {
+        unsigned flit_bytes = flitBits / 8;
+        return headerFlits + (payload_bytes + flit_bytes - 1) / flit_bytes;
+    }
+
+    unsigned meshRows() const { return numProcs / meshCols; }
+
+    /** Validate internal consistency; fatal() on bad user configs. */
+    void validate() const;
+};
+
+} // namespace psim
+
+#endif // PSIM_SIM_CONFIG_HH

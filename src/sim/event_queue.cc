@@ -1,0 +1,58 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+namespace psim
+{
+
+bool
+EventQueue::isCancelled(EventId id)
+{
+    auto it = std::find(_cancelled.begin(), _cancelled.end(), id);
+    if (it == _cancelled.end())
+        return false;
+    _cancelled.erase(it);
+    return true;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!_heap.empty()) {
+        Entry e = _heap.top();
+        _heap.pop();
+        --_live;
+        if (isCancelled(e.id))
+            continue;
+        psim_assert(e.when >= _now, "event queue went backwards");
+        _now = e.when;
+        e.cb();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!_heap.empty()) {
+        if (_heap.top().when > limit) {
+            _now = limit;
+            return _now;
+        }
+        runOne();
+    }
+    return _now;
+}
+
+void
+EventQueue::reset()
+{
+    _heap = {};
+    _cancelled.clear();
+    _live = 0;
+    _now = 0;
+    _nextId = 1;
+}
+
+} // namespace psim

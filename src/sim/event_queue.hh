@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Global discrete-event queue.
+ *
+ * The whole machine is driven by a single event queue: components
+ * schedule callbacks at absolute ticks, and ties are broken by insertion
+ * order so that simulation is fully deterministic.
+ */
+
+#ifndef PSIM_SIM_EVENT_QUEUE_HH
+#define PSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace psim
+{
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Opaque handle for cancelling a scheduled event. */
+    using EventId = std::uint64_t;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p cb at absolute tick @p when.
+     * @pre when >= now()
+     * @return handle usable with cancel()
+     */
+    EventId
+    schedule(Tick when, Callback cb)
+    {
+        psim_assert(when >= _now,
+                "schedule in the past: when=%llu now=%llu",
+                (unsigned long long)when, (unsigned long long)_now);
+        EventId id = _nextId++;
+        _heap.push(Entry{when, id, std::move(cb), false});
+        ++_live;
+        return id;
+    }
+
+    /** Schedule @p cb @p delta ticks from now. */
+    EventId
+    scheduleIn(Tick delta, Callback cb)
+    {
+        return schedule(_now + delta, std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an event that has
+     * already fired is a no-op (lazily deleted).
+     */
+    void
+    cancel(EventId id)
+    {
+        _cancelled.push_back(id);
+    }
+
+    /** True when no live events remain. */
+    bool empty() const { return _live == 0; }
+
+    /** Number of events still pending. */
+    std::size_t pending() const { return _live; }
+
+    /**
+     * Run the next event. @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run until the queue drains or @p limit ticks have been simulated.
+     * @return the tick at which execution stopped.
+     */
+    Tick run(Tick limit = kTickNever);
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        Callback cb;
+        bool dead;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    bool isCancelled(EventId id);
+
+    Tick _now = 0;
+    EventId _nextId = 1;
+    std::size_t _live = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    std::vector<EventId> _cancelled;
+};
+
+} // namespace psim
+
+#endif // PSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic pseudo-random numbers (xoshiro256**).
+ *
+ * Every source of randomness in the simulator and the workloads draws
+ * from a seeded Rng so that every table in the paper reproduction is
+ * bit-identical across runs.
+ */
+
+#ifndef PSIM_SIM_RANDOM_HH
+#define PSIM_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace psim
+{
+
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) { reseed(seed); }
+
+    /** Re-initialize from a single seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : _s) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(below(
+                static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _s[4];
+};
+
+} // namespace psim
+
+#endif // PSIM_SIM_RANDOM_HH

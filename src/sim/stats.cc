@@ -1,0 +1,72 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace psim::stats
+{
+
+void
+Histogram::sample(std::int64_t key, std::uint64_t weight)
+{
+    _buckets[key] += weight;
+    _total += weight;
+}
+
+std::uint64_t
+Histogram::count(std::int64_t key) const
+{
+    auto it = _buckets.find(key);
+    return it == _buckets.end() ? 0 : it->second;
+}
+
+std::int64_t
+Histogram::dominantKey() const
+{
+    std::int64_t best_key = 0;
+    std::uint64_t best = 0;
+    for (const auto &[key, weight] : _buckets) {
+        if (weight > best) {
+            best = weight;
+            best_key = key;
+        }
+    }
+    return best_key;
+}
+
+double
+Histogram::fraction(std::int64_t key) const
+{
+    if (_total == 0)
+        return 0.0;
+    return static_cast<double>(count(key)) / static_cast<double>(_total);
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    os << "---------- " << _name << " ----------\n";
+    auto line = [&os](const std::string &name, double value,
+                      const std::string &desc) {
+        os << std::left << std::setw(44) << name
+           << std::right << std::setw(16) << value
+           << "  # " << desc << "\n";
+    };
+    for (const auto &item : _scalars)
+        line(_name + "." + item.name, item.stat->value(), item.desc);
+    for (const auto &item : _averages) {
+        line(_name + "." + item.name + ".mean", item.stat->mean(),
+             item.desc);
+        line(_name + "." + item.name + ".count",
+             static_cast<double>(item.stat->count()), item.desc);
+    }
+    for (const auto &item : _histograms) {
+        line(_name + "." + item.name + ".total",
+             static_cast<double>(item.stat->total()), item.desc);
+        for (const auto &[key, weight] : item.stat->buckets()) {
+            line(_name + "." + item.name + "[" + std::to_string(key) + "]",
+                 static_cast<double>(weight), item.desc);
+        }
+    }
+}
+
+} // namespace psim::stats

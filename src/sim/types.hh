@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every psim subsystem.
+ *
+ * The simulator is clocked in processor clocks ("pclocks"); one Tick is
+ * one pclock, i.e. 10 ns at the paper's 100 MHz processor clock. The
+ * slower clock domains (33 MHz local bus, 90 ns DRAM) are expressed as
+ * integer multiples of the pclock.
+ */
+
+#ifndef PSIM_SIM_TYPES_HH
+#define PSIM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace psim
+{
+
+/** Simulated time, in processor clocks (1 pclock = 10 ns). */
+using Tick = std::uint64_t;
+
+/** A simulated (virtual == physical) byte address in the shared space. */
+using Addr = std::uint64_t;
+
+/** Synthetic instruction address of a static load/store site. */
+using Pc = std::uint64_t;
+
+/** Identifier of a processing node (0..P-1). */
+using NodeId = std::uint32_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/** Sentinel address. */
+constexpr Addr kAddrInvalid = std::numeric_limits<Addr>::max();
+
+/** Sentinel node. */
+constexpr NodeId kNodeNone = std::numeric_limits<NodeId>::max();
+
+/**
+ * Align an address down to the enclosing aligned chunk of @p size bytes.
+ * @pre size is a power of two.
+ */
+constexpr Addr
+alignDown(Addr a, std::uint64_t size)
+{
+    return a & ~(size - 1);
+}
+
+/** True iff @p v is a nonzero power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)) for a power-of-two v. */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace psim
+
+#endif // PSIM_SIM_TYPES_HH

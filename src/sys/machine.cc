@@ -1,0 +1,279 @@
+#include "sys/machine.hh"
+
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace psim
+{
+
+Machine::Machine(MachineConfig cfg)
+    : _cfg(cfg),
+      _store(cfg.pageSize),
+      _mesh(_eq, _cfg)
+{
+    _cfg.validate();
+    psim_assert(_cfg.numProcs <= 64,
+            "directory presence mask supports at most 64 nodes");
+    _nodes.reserve(_cfg.numProcs);
+    for (NodeId n = 0; n < _cfg.numProcs; ++n)
+        _nodes.push_back(std::make_unique<Node>(*this, n));
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::send(const Message &m)
+{
+    bool data = carriesData(m.type);
+    _nodes[m.src]->bus().transfer(data, [this, m, data] {
+        if (m.dst == m.src) {
+            deliver(m);
+            return;
+        }
+        unsigned flits = _cfg.flitsFor(data ? _cfg.blockSize : 0);
+        _mesh.send(m.src, m.dst, flits, [this, m, data] {
+            _nodes[m.dst]->bus().transfer(data,
+                    [this, m] { deliver(m); });
+        });
+    });
+}
+
+void
+Machine::deliver(const Message &m)
+{
+    _nodes[m.dst]->deliver(m);
+}
+
+void
+Machine::bindProgram(NodeId id, Task t)
+{
+    _nodes.at(id)->cpu().bind(std::move(t));
+}
+
+void
+Machine::enableCharacterizers(unsigned min_run)
+{
+    psim_assert(!_ran, "characterizers must attach before run()");
+    _chars.clear();
+    for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+        _chars.push_back(std::make_unique<StrideCharacterizer>(
+                _cfg.blockSize, min_run));
+        _nodes[n]->slc().setCharacterizer(_chars.back().get());
+    }
+}
+
+void
+Machine::enableTracing(TraceWriter &writer)
+{
+    psim_assert(!_ran, "tracing must attach before run()");
+    for (auto &node : _nodes) {
+        node->slc().setTraceSink(
+                [&writer](const TraceRecord &rec) { writer.append(rec); });
+    }
+}
+
+Tick
+Machine::run(Tick limit)
+{
+    _ran = true;
+    for (auto &node : _nodes)
+        node->cpu().start();
+    Tick end = _eq.run(limit);
+    if (allFinished()) {
+        for (auto &node : _nodes)
+            node->slc().finalizeStats();
+    }
+    return end;
+}
+
+bool
+Machine::allFinished() const
+{
+    for (const auto &node : _nodes) {
+        if (!node->cpu().finished())
+            return false;
+    }
+    return true;
+}
+
+RunMetrics
+Machine::metrics() const
+{
+    RunMetrics r;
+    for (const auto &node : _nodes) {
+        const Cpu &cpu = node->cpu();
+        const Slc &slc = node->slc();
+        r.execTicks = std::max(r.execTicks,
+                static_cast<Tick>(cpu.finishTick.value()));
+        r.reads += cpu.loads.value();
+        r.writes += cpu.stores.value();
+        r.readStall += cpu.readStall.value();
+        r.slcReads += slc.demandReads.value();
+        r.readMisses += slc.demandReadMisses.value();
+        r.missesCold += slc.missesCold.value();
+        r.missesCoherence += slc.missesCoherence.value();
+        r.missesReplacement += slc.missesReplacement.value();
+        r.pfIssued += slc.pfIssued.value();
+        r.pfUseful += slc.usefulPrefetches();
+        r.busTransactions += node->bus().transactions.value();
+    }
+    r.flits = _mesh.flitsInjected.value();
+    return r;
+}
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    for (const auto &node : _nodes) {
+        std::string prefix = "node" + std::to_string(node->id());
+        const Cpu &cpu = node->cpu();
+        stats::Group cg(prefix + ".cpu");
+        cg.addScalar("loads", &cpu.loads, "loads issued");
+        cg.addScalar("stores", &cpu.stores, "stores issued");
+        cg.addScalar("locks", &cpu.locks, "lock acquires");
+        cg.addScalar("barriers", &cpu.barriers, "barrier episodes");
+        cg.addScalar("readStall", &cpu.readStall, "read stall ticks");
+        cg.addScalar("lockStall", &cpu.lockStall, "lock stall ticks");
+        cg.addScalar("barrierStall", &cpu.barrierStall,
+                "barrier stall ticks");
+        cg.addScalar("writeStall", &cpu.writeStall,
+                "FLWB-full stall ticks");
+        cg.addScalar("finishTick", &cpu.finishTick, "completion tick");
+        cg.dump(os);
+
+        const Slc &slc = node->slc();
+        stats::Group sg(prefix + ".slc");
+        sg.addScalar("demandReads", &slc.demandReads,
+                "read requests presented by the FLC");
+        sg.addScalar("demandReadMisses", &slc.demandReadMisses,
+                "demand read misses");
+        sg.addScalar("missesCold", &slc.missesCold, "cold misses");
+        sg.addScalar("missesCoherence", &slc.missesCoherence,
+                "coherence misses");
+        sg.addScalar("missesReplacement", &slc.missesReplacement,
+                "replacement misses");
+        sg.addScalar("writebacks", &slc.writebacks, "dirty evictions");
+        sg.addScalar("pfIssued", &slc.pfIssued, "prefetches issued");
+        sg.addScalar("pfUsefulTagged", &slc.pfUsefulTagged,
+                "demand hits on tagged blocks");
+        sg.addScalar("pfUsefulLate", &slc.pfUsefulLate,
+                "demand reads merged with in-flight prefetches");
+        sg.addScalar("pfUselessInvalidated", &slc.pfUselessInvalidated,
+                "tagged blocks lost to invalidations");
+        sg.addScalar("pfUselessReplaced", &slc.pfUselessReplaced,
+                "tagged blocks lost to replacement");
+        sg.addScalar("pfUselessUnused", &slc.pfUselessUnused,
+                "tagged blocks never referenced");
+        sg.dump(os);
+
+        const MemCtrl &mem = node->mem();
+        stats::Group mg(prefix + ".mem");
+        mg.addScalar("readReqs", &mem.readReqs, "read requests");
+        mg.addScalar("readExReqs", &mem.readExReqs,
+                "read-exclusive requests");
+        mg.addScalar("upgradeReqs", &mem.upgradeReqs, "upgrade requests");
+        mg.addScalar("convertedUpgrades", &mem.convertedUpgrades,
+                "upgrades serviced as read-exclusive");
+        mg.addScalar("fetchesSent", &mem.fetchesSent,
+                "owner fetches sent");
+        mg.addScalar("invalidationsSent", &mem.invalidationsSent,
+                "invalidations sent");
+        mg.addScalar("writebacksRecv", &mem.writebacksRecv,
+                "writebacks received");
+        mg.addScalar("queuedAtBusyEntry", &mem.queuedAtBusyEntry,
+                "requests queued at busy directory entries");
+        mg.addScalar("migratoryDetected", &mem.migratoryDetected,
+                "blocks classified migratory");
+        mg.addScalar("migratoryGrants", &mem.migratoryGrants,
+                "reads granted exclusive copies");
+        mg.dump(os);
+
+        const Bus &bus = node->bus();
+        stats::Group bg(prefix + ".bus");
+        bg.addScalar("transactions", &bus.transactions,
+                "bus transactions");
+        bg.addScalar("dataTransactions", &bus.dataTransactions,
+                "data-carrying transactions");
+        bg.addScalar("busyTicks", &bus.res.busyTicks,
+                "ticks the bus was occupied");
+        bg.addScalar("waitTicks", &bus.res.waitTicks,
+                "ticks requests queued for the bus");
+        bg.dump(os);
+    }
+    stats::Group ng("mesh");
+    ng.addScalar("messages", &_mesh.messages, "messages injected");
+    ng.addScalar("flits", &_mesh.flitsInjected, "flits injected");
+    ng.addAverage("latency", &_mesh.msgLatency,
+            "in-network message latency");
+    ng.dump(os);
+}
+
+void
+Machine::checkCoherenceInvariants() const
+{
+    // Block address -> (modified copies, shared copies bitmask).
+    struct BlockView
+    {
+        unsigned modified = 0;
+        std::uint64_t sharers = 0;
+        NodeId owner = kNodeNone;
+    };
+    std::map<Addr, BlockView> view;
+
+    for (const auto &node : _nodes) {
+        psim_assert(node->slc().pendingTransactions() == 0,
+                "invariant check while node %u has pending transactions",
+                node->id());
+        node->slc().array().forEach([&](const CacheBlk &blk) {
+            BlockView &v = view[blk.addr];
+            if (blk.state == CohState::Modified) {
+                ++v.modified;
+                v.owner = node->id();
+            } else {
+                v.sharers |= 1ULL << node->id();
+            }
+        });
+    }
+
+    for (const auto &[addr, v] : view) {
+        psim_assert(v.modified <= 1,
+                "block %llx has %u modified copies",
+                (unsigned long long)addr, v.modified);
+        psim_assert(v.modified == 0 || v.sharers == 0,
+                "block %llx is both modified and shared",
+                (unsigned long long)addr);
+
+        auto snap = _nodes[_cfg.homeOf(addr)]->mem().snapshot(addr);
+        psim_assert(!snap.busy, "directory entry %llx busy at quiesce",
+                (unsigned long long)addr);
+        if (v.modified == 1) {
+            psim_assert(snap.st == MemCtrl::DirSnapshot::St::Dirty &&
+                        snap.owner == v.owner,
+                    "directory disagrees about owner of %llx",
+                    (unsigned long long)addr);
+        } else {
+            // Every shared copy must be covered by a presence bit
+            // (silent evictions may leave stale presence bits, which is
+            // harmless, but never the reverse).
+            psim_assert(snap.st != MemCtrl::DirSnapshot::St::Dirty,
+                    "directory thinks %llx is dirty but no cache owns it",
+                    (unsigned long long)addr);
+            psim_assert((v.sharers & ~snap.presence) == 0,
+                    "cache holds %llx without a presence bit",
+                    (unsigned long long)addr);
+        }
+    }
+
+    // FLC/SLC inclusion: every FLC-resident block is SLC-resident.
+    for (const auto &node : _nodes) {
+        const Slc &slc = node->slc();
+        node->flc().array().forEach([&](const CacheBlk &blk) {
+            psim_assert(slc.stateOf(blk.addr) != CohState::Invalid,
+                    "node %u FLC holds %llx not in its SLC", node->id(),
+                    (unsigned long long)blk.addr);
+        });
+    }
+}
+
+} // namespace psim

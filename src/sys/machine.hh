@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The full 16-node CC-NUMA machine (paper Sections 2 and 4).
+ *
+ * Owns the global event queue, the functional backing store, the mesh,
+ * and the nodes; routes protocol messages across node buses and the
+ * network; and aggregates the metrics the paper's evaluation reports.
+ */
+
+#ifndef PSIM_SYS_MACHINE_HH
+#define PSIM_SYS_MACHINE_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "core/characterizer.hh"
+#include "mem/backing_store.hh"
+#include "net/mesh.hh"
+#include "proto/message.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "trace/trace.hh"
+#include "sys/node.hh"
+#include "sys/task.hh"
+
+namespace psim
+{
+
+/** The headline numbers of one simulation run (Figure 6 inputs). */
+struct RunMetrics
+{
+    Tick execTicks = 0;        ///< parallel-section execution time
+    double reads = 0;          ///< loads issued by all processors
+    double writes = 0;
+    double slcReads = 0;       ///< read requests presented to the SLCs
+    double readMisses = 0;     ///< the paper's "number of read misses"
+    double readStall = 0;      ///< the paper's "read stall time" (ticks)
+    double missesCold = 0;
+    double missesCoherence = 0;
+    double missesReplacement = 0;
+    double pfIssued = 0;
+    double pfUseful = 0;
+    double flits = 0;          ///< network traffic
+    double busTransactions = 0;
+
+    /** Useful / issued prefetches; 1.0 when none were issued. */
+    double
+    prefetchEfficiency() const
+    {
+        return pfIssued > 0 ? pfUseful / pfIssued : 1.0;
+    }
+};
+
+class Machine
+{
+  public:
+    explicit Machine(MachineConfig cfg);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    EventQueue &eq() { return _eq; }
+    const MachineConfig &cfg() const { return _cfg; }
+    BackingStore &store() { return _store; }
+    Mesh &mesh() { return _mesh; }
+    Node &node(NodeId id) { return *_nodes.at(id); }
+    unsigned numProcs() const { return _cfg.numProcs; }
+
+    /**
+     * Route a message from its source component: across the source
+     * node's bus, then (for remote destinations) through the mesh and
+     * the destination node's bus, and finally to the target component.
+     */
+    void send(const Message &m);
+
+    /** Attach the simulated thread for one processor. */
+    void bindProgram(NodeId id, Task t);
+
+    /**
+     * Attach a Table-2/3 stride characterizer to every node's demand
+     * read-miss stream. Call before run().
+     */
+    void enableCharacterizers(unsigned min_run = 3);
+
+    StrideCharacterizer *
+    characterizer(NodeId id)
+    {
+        return _chars.empty() ? nullptr : _chars.at(id).get();
+    }
+
+    /**
+     * Stream every SLC-presented request of every node into @p writer
+     * (which must outlive the run). Call before run().
+     */
+    void enableTracing(TraceWriter &writer);
+
+    /**
+     * Start every bound thread and run the machine until all threads
+     * finish (or @p limit ticks pass). @return final tick.
+     */
+    Tick run(Tick limit = kTickNever);
+
+    bool allFinished() const;
+
+    /** Aggregate the paper's metrics over all nodes. */
+    RunMetrics metrics() const;
+
+    /** Dump every statistics group. */
+    void dumpStats(std::ostream &os) const;
+
+    /**
+     * Verify global coherence invariants (call when quiescent): at most
+     * one Modified copy per block, directory state consistent with the
+     * caches, FLC contents included in the SLC.
+     */
+    void checkCoherenceInvariants() const;
+
+  private:
+    void deliver(const Message &m);
+
+    MachineConfig _cfg;
+    EventQueue _eq;
+    BackingStore _store;
+    Mesh _mesh;
+    std::vector<std::unique_ptr<Node>> _nodes;
+    std::vector<std::unique_ptr<StrideCharacterizer>> _chars;
+    bool _ran = false;
+};
+
+} // namespace psim
+
+#endif // PSIM_SYS_MACHINE_HH

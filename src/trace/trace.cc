@@ -1,0 +1,128 @@
+#include "trace/trace.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace psim
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMagic = 0x505349'4d54524bULL; // "PSIMTRK"
+constexpr std::uint32_t kVersion = 1;
+
+/** Fixed 40-byte on-disk record. */
+struct DiskRecord
+{
+    std::uint64_t tick;
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint32_t node;
+    std::uint8_t kind;
+    std::uint8_t hit;
+    std::uint8_t pad[10];
+};
+
+static_assert(sizeof(DiskRecord) == 40, "trace record layout");
+
+struct Header
+{
+    std::uint64_t magic;
+    std::uint32_t version;
+    std::uint32_t reserved;
+    std::uint64_t count;
+};
+
+static_assert(sizeof(Header) == 24, "trace header layout");
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : _out(path, std::ios::binary | std::ios::trunc)
+{
+    if (!_out)
+        psim_fatal("cannot open trace file '%s'", path.c_str());
+    Header h{kMagic, kVersion, 0, 0};
+    _out.write(reinterpret_cast<const char *>(&h), sizeof(h));
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const TraceRecord &rec)
+{
+    psim_assert(!_closed, "append to closed trace");
+    DiskRecord d{};
+    d.tick = rec.tick;
+    d.pc = rec.pc;
+    d.addr = rec.addr;
+    d.node = rec.node;
+    d.kind = static_cast<std::uint8_t>(rec.kind);
+    d.hit = rec.hit ? 1 : 0;
+    _out.write(reinterpret_cast<const char *>(&d), sizeof(d));
+    ++_count;
+}
+
+void
+TraceWriter::close()
+{
+    if (_closed)
+        return;
+    _closed = true;
+    Header h{kMagic, kVersion, 0, _count};
+    _out.seekp(0);
+    _out.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    _out.flush();
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : _in(path, std::ios::binary)
+{
+    if (!_in)
+        psim_fatal("cannot open trace file '%s'", path.c_str());
+    Header h{};
+    _in.read(reinterpret_cast<char *>(&h), sizeof(h));
+    if (!_in || h.magic != kMagic)
+        psim_fatal("'%s' is not a psim trace", path.c_str());
+    if (h.version != kVersion)
+        psim_fatal("trace version %u unsupported", h.version);
+    _count = h.count;
+}
+
+bool
+TraceReader::next(TraceRecord &rec)
+{
+    if (_read >= _count)
+        return false;
+    DiskRecord d{};
+    _in.read(reinterpret_cast<char *>(&d), sizeof(d));
+    if (!_in)
+        return false;
+    rec.tick = d.tick;
+    rec.pc = d.pc;
+    rec.addr = d.addr;
+    rec.node = d.node;
+    rec.kind = static_cast<TraceRecord::Kind>(d.kind);
+    rec.hit = d.hit != 0;
+    ++_read;
+    return true;
+}
+
+std::vector<TraceRecord>
+TraceReader::readAll(const std::string &path)
+{
+    TraceReader reader(path);
+    std::vector<TraceRecord> out;
+    out.reserve(reader.count());
+    TraceRecord rec;
+    while (reader.next(rec))
+        out.push_back(rec);
+    return out;
+}
+
+} // namespace psim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reference-trace capture and replay.
+ *
+ * A trace records the read/write requests presented to the SLCs --
+ * exactly the stream the prefetchers and the Table-2 characterizer
+ * operate on -- so that the paper's methodology can be applied offline
+ * to any captured run (see tools/trace_tool.cc) and runs can be
+ * archived and diffed.
+ *
+ * On-disk format: a 16-byte header (magic, version, record count)
+ * followed by fixed-size little-endian records.
+ */
+
+#ifndef PSIM_TRACE_TRACE_HH
+#define PSIM_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace psim
+{
+
+struct TraceRecord
+{
+    enum class Kind : std::uint8_t
+    {
+        Read,  ///< demand read presented to an SLC
+        Write, ///< store presented to an SLC
+    };
+
+    Tick tick = 0;
+    Pc pc = 0;
+    Addr addr = 0;
+    NodeId node = 0;
+    Kind kind = Kind::Read;
+    bool hit = false; ///< SLC hit?
+
+    bool
+    operator==(const TraceRecord &o) const
+    {
+        return tick == o.tick && pc == o.pc && addr == o.addr &&
+               node == o.node && kind == o.kind && hit == o.hit;
+    }
+};
+
+/** Streams records to a file. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void append(const TraceRecord &rec);
+
+    /** Finish the file (writes the final record count). */
+    void close();
+
+    std::uint64_t count() const { return _count; }
+
+  private:
+    std::ofstream _out;
+    std::uint64_t _count = 0;
+    bool _closed = false;
+};
+
+/** Reads a trace file sequentially. */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+
+    /** @return false at end of trace. */
+    bool next(TraceRecord &rec);
+
+    std::uint64_t count() const { return _count; }
+
+    /** Convenience: read a whole file into memory. */
+    static std::vector<TraceRecord> readAll(const std::string &path);
+
+  private:
+    std::ifstream _in;
+    std::uint64_t _count = 0;
+    std::uint64_t _read = 0;
+};
+
+} // namespace psim
+
+#endif // PSIM_TRACE_TRACE_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared test harness: a machine plus hand-written coroutine threads.
+ */
+
+#ifndef PSIM_TESTS_HARNESS_HH
+#define PSIM_TESTS_HARNESS_HH
+
+#include <memory>
+#include <vector>
+
+#include "apps/ctx.hh"
+#include "sys/machine.hh"
+
+namespace psim::test
+{
+
+/** A machine whose threads are written inline in the test body. */
+struct MiniSystem
+{
+    explicit MiniSystem(const MachineConfig &cfg) : m(cfg)
+    {
+        for (NodeId n = 0; n < cfg.numProcs; ++n) {
+            ctxs.push_back(std::make_unique<apps::ThreadCtx>(
+                    m, n, cfg.numProcs));
+        }
+    }
+
+    apps::ThreadCtx &ctx(NodeId n) { return *ctxs.at(n); }
+
+    /** Bind a thread to node @p n. */
+    void
+    run(NodeId n, Task t)
+    {
+        m.bindProgram(n, std::move(t));
+    }
+
+    /** Run to completion; returns false if the time limit was hit. */
+    bool
+    finish(Tick limit = 10000000)
+    {
+        m.run(limit);
+        return m.allFinished();
+    }
+
+    Machine m;
+    std::vector<std::unique_ptr<apps::ThreadCtx>> ctxs;
+};
+
+} // namespace psim::test
+
+#endif // PSIM_TESTS_HARNESS_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the generic cache tag/state array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_array.hh"
+
+using namespace psim;
+
+namespace
+{
+constexpr unsigned kBlk = 32;
+}
+
+TEST(CacheArray, InfiniteModeNeverEvicts)
+{
+    CacheArray c(0, 1, kBlk);
+    ASSERT_TRUE(c.infinite());
+    for (Addr a = 0; a < 10000 * kBlk; a += kBlk) {
+        CacheBlk *f = c.findVictim(a);
+        EXPECT_FALSE(f->valid()); // never a victim with data
+        c.fill(f, a, CohState::Shared, 0);
+    }
+    EXPECT_EQ(c.numValid(), 10000u);
+    EXPECT_NE(c.find(0), nullptr);
+    EXPECT_NE(c.find(9999 * kBlk), nullptr);
+}
+
+TEST(CacheArray, FindMissesAbsentBlock)
+{
+    CacheArray c(1024, 1, kBlk);
+    EXPECT_EQ(c.find(0x100), nullptr);
+}
+
+TEST(CacheArray, DirectMappedConflict)
+{
+    CacheArray c(1024, 1, kBlk); // 32 sets
+    Addr a = 0;
+    Addr b = 1024; // same set, different tag
+    c.fill(c.findVictim(a), a, CohState::Shared, 0);
+    EXPECT_NE(c.find(a), nullptr);
+
+    CacheBlk *victim = c.findVictim(b);
+    EXPECT_TRUE(victim->valid());
+    EXPECT_EQ(victim->addr, a); // a must be the victim
+    c.fill(victim, b, CohState::Modified, 1);
+    EXPECT_EQ(c.find(a), nullptr);
+    ASSERT_NE(c.find(b), nullptr);
+    EXPECT_EQ(c.find(b)->state, CohState::Modified);
+}
+
+TEST(CacheArray, SetAssociativeLruEviction)
+{
+    CacheArray c(4 * kBlk, 4, kBlk); // one set, 4 ways
+    Addr addrs[4] = {0, kBlk, 2 * kBlk, 3 * kBlk};
+    for (int i = 0; i < 4; ++i)
+        c.fill(c.findVictim(addrs[i]), addrs[i], CohState::Shared,
+               static_cast<Tick>(i));
+
+    // Touch block 0 so block 1 becomes LRU.
+    c.touch(c.find(addrs[0]), 10);
+
+    Addr fresh = 4 * kBlk;
+    CacheBlk *victim = c.findVictim(fresh);
+    ASSERT_TRUE(victim->valid());
+    EXPECT_EQ(victim->addr, addrs[1]);
+}
+
+TEST(CacheArray, InvalidateFreesFrame)
+{
+    CacheArray c(1024, 1, kBlk);
+    c.fill(c.findVictim(0), 0, CohState::Shared, 0);
+    CacheBlk *blk = c.find(0);
+    ASSERT_NE(blk, nullptr);
+    blk->prefetched = true;
+    c.invalidate(blk);
+    EXPECT_EQ(c.find(0), nullptr);
+    EXPECT_FALSE(blk->prefetched) << "invalidate must clear the tag bit";
+
+    CacheBlk *f = c.findVictim(0);
+    EXPECT_FALSE(f->valid());
+}
+
+TEST(CacheArray, FillClearsPrefetchBit)
+{
+    CacheArray c(0, 1, kBlk);
+    CacheBlk *f = c.findVictim(64);
+    f->prefetched = true;
+    c.fill(f, 64, CohState::Shared, 5);
+    EXPECT_FALSE(f->prefetched);
+    EXPECT_EQ(f->lastUse, 5u);
+}
+
+TEST(CacheArray, ForEachVisitsOnlyValid)
+{
+    CacheArray c(1024, 2, kBlk);
+    c.fill(c.findVictim(0), 0, CohState::Shared, 0);
+    c.fill(c.findVictim(kBlk), kBlk, CohState::Modified, 0);
+    c.invalidate(c.find(0));
+
+    unsigned count = 0;
+    c.forEach([&](const CacheBlk &blk) {
+        ++count;
+        EXPECT_EQ(blk.addr, kBlk);
+    });
+    EXPECT_EQ(count, 1u);
+    EXPECT_EQ(c.numValid(), 1u);
+}
+
+TEST(CacheArray, SixteenKbDirectMappedGeometry)
+{
+    // The paper's finite SLC: 16 KB direct-mapped, 32 B blocks.
+    CacheArray c(16384, 1, kBlk);
+    EXPECT_EQ(c.numSets(), 512u);
+    EXPECT_EQ(c.assoc(), 1u);
+    // Blocks 16 KB apart collide.
+    c.fill(c.findVictim(0x0), 0x0, CohState::Shared, 0);
+    CacheBlk *v = c.findVictim(0x4000);
+    EXPECT_TRUE(v->valid());
+    EXPECT_EQ(v->addr, 0x0u);
+}

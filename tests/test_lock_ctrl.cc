@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the memory-side queue-based lock and barrier
+ * controllers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "proto/lock_ctrl.hh"
+
+using namespace psim;
+
+namespace
+{
+
+struct LockHarness
+{
+    std::vector<std::pair<NodeId, Addr>> grants;
+    LockCtrl locks{[this](NodeId n, Addr a) { grants.emplace_back(n, a); }};
+};
+
+struct BarrierHarness
+{
+    std::vector<NodeId> released;
+    BarrierCtrl barrier{[this](NodeId n, Addr) { released.push_back(n); }};
+};
+
+} // namespace
+
+TEST(LockCtrl, FreeLockGrantsImmediately)
+{
+    LockHarness h;
+    h.locks.request(3, 0x100);
+    ASSERT_EQ(h.grants.size(), 1u);
+    EXPECT_EQ(h.grants[0].first, 3u);
+    EXPECT_TRUE(h.locks.isHeld(0x100));
+}
+
+TEST(LockCtrl, ContendersQueueInFifoOrder)
+{
+    LockHarness h;
+    h.locks.request(0, 0x100);
+    h.locks.request(1, 0x100);
+    h.locks.request(2, 0x100);
+    ASSERT_EQ(h.grants.size(), 1u);
+
+    h.locks.release(0, 0x100);
+    ASSERT_EQ(h.grants.size(), 2u);
+    EXPECT_EQ(h.grants[1].first, 1u);
+
+    h.locks.release(1, 0x100);
+    ASSERT_EQ(h.grants.size(), 3u);
+    EXPECT_EQ(h.grants[2].first, 2u);
+
+    h.locks.release(2, 0x100);
+    EXPECT_FALSE(h.locks.isHeld(0x100));
+}
+
+TEST(LockCtrl, DistinctAddressesAreIndependentLocks)
+{
+    LockHarness h;
+    h.locks.request(0, 0x100);
+    h.locks.request(1, 0x200);
+    EXPECT_EQ(h.grants.size(), 2u);
+}
+
+TEST(LockCtrl, ReacquireAfterRelease)
+{
+    LockHarness h;
+    h.locks.request(0, 0x100);
+    h.locks.release(0, 0x100);
+    h.locks.request(1, 0x100);
+    ASSERT_EQ(h.grants.size(), 2u);
+    EXPECT_EQ(h.grants[1].first, 1u);
+}
+
+TEST(LockCtrlDeath, ReleasingFreeLockPanics)
+{
+    LockHarness h;
+    EXPECT_DEATH(h.locks.release(0, 0x100), "release of free lock");
+}
+
+TEST(LockCtrlDeath, ReleaseByNonHolderPanics)
+{
+    LockHarness h;
+    h.locks.request(0, 0x100);
+    EXPECT_DEATH(h.locks.release(1, 0x100), "releasing lock held by");
+}
+
+TEST(BarrierCtrl, ReleasesWhenLastArrives)
+{
+    BarrierHarness h;
+    h.barrier.arrive(0, 0x40, 3);
+    h.barrier.arrive(1, 0x40, 3);
+    EXPECT_TRUE(h.released.empty());
+    h.barrier.arrive(2, 0x40, 3);
+    EXPECT_EQ(h.released.size(), 3u);
+}
+
+TEST(BarrierCtrl, ReusableAcrossEpisodes)
+{
+    BarrierHarness h;
+    for (int episode = 0; episode < 3; ++episode) {
+        h.released.clear();
+        h.barrier.arrive(0, 0x40, 2);
+        h.barrier.arrive(1, 0x40, 2);
+        EXPECT_EQ(h.released.size(), 2u);
+    }
+    EXPECT_DOUBLE_EQ(h.barrier.episodes.value(), 3.0);
+}
+
+TEST(BarrierCtrl, IndependentBarrierVariables)
+{
+    BarrierHarness h;
+    h.barrier.arrive(0, 0x40, 2);
+    h.barrier.arrive(1, 0x80, 2);
+    EXPECT_TRUE(h.released.empty());
+    h.barrier.arrive(1, 0x40, 2);
+    EXPECT_EQ(h.released.size(), 2u);
+}
+
+TEST(BarrierCtrl, SingleParticipantPassesThrough)
+{
+    BarrierHarness h;
+    h.barrier.arrive(5, 0x40, 1);
+    ASSERT_EQ(h.released.size(), 1u);
+    EXPECT_EQ(h.released[0], 5u);
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests of the machine assembly: metric aggregation, statistics
+ * dumping, configuration variants, and the run loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/driver.hh"
+#include "harness.hh"
+
+using namespace psim;
+using namespace psim::test;
+
+TEST(Machine, MetricsAggregateAcrossNodes)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 4;
+    apps::Run run = apps::runWorkload("lu", cfg);
+    ASSERT_TRUE(run.finished);
+
+    double loads = 0, misses = 0, stall = 0;
+    for (NodeId n = 0; n < cfg.numProcs; ++n) {
+        loads += run.machine->node(n).cpu().loads.value();
+        misses += run.machine->node(n).slc().demandReadMisses.value();
+        stall += run.machine->node(n).cpu().readStall.value();
+    }
+    RunMetrics mx = run.machine->metrics();
+    EXPECT_DOUBLE_EQ(mx.reads, loads);
+    EXPECT_DOUBLE_EQ(mx.readMisses, misses);
+    EXPECT_DOUBLE_EQ(mx.readStall, stall);
+    EXPECT_GT(mx.execTicks, 0u);
+    EXPECT_GT(mx.flits, 0.0);
+}
+
+TEST(Machine, MissClassesSumToMisses)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 4;
+    cfg.slcSize = 8192;
+    apps::Run run = apps::runWorkload("ocean", cfg);
+    ASSERT_TRUE(run.finished);
+    RunMetrics mx = run.machine->metrics();
+    EXPECT_DOUBLE_EQ(mx.missesCold + mx.missesCoherence +
+                     mx.missesReplacement, mx.readMisses);
+}
+
+TEST(Machine, DumpStatsMentionsEveryNode)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 4;
+    apps::Run run = apps::runWorkload("matmul", cfg);
+    ASSERT_TRUE(run.finished);
+    std::ostringstream os;
+    run.machine->dumpStats(os);
+    std::string out = os.str();
+    for (NodeId n = 0; n < 4; ++n) {
+        std::string prefix = "node" + std::to_string(n) + ".cpu.loads";
+        EXPECT_NE(out.find(prefix), std::string::npos) << prefix;
+    }
+    EXPECT_NE(out.find("mesh.flits"), std::string::npos);
+    EXPECT_NE(out.find("node0.slc.demandReadMisses"), std::string::npos);
+}
+
+TEST(Machine, RunLimitStopsEarly)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 4;
+    apps::RunOptions opts;
+    opts.limit = 50; // far too short for any workload
+    opts.checkInvariants = false;
+    apps::Run run = apps::runWorkload("lu", cfg, opts);
+    EXPECT_FALSE(run.finished);
+    EXPECT_LE(run.machine->eq().now(), 50u);
+}
+
+TEST(Machine, PrefetchEfficiencyIsOneWithoutPrefetching)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 4;
+    apps::Run run = apps::runWorkload("lu", cfg);
+    ASSERT_TRUE(run.finished);
+    EXPECT_DOUBLE_EQ(run.metrics.pfIssued, 0.0);
+    EXPECT_DOUBLE_EQ(run.metrics.prefetchEfficiency(), 1.0);
+}
+
+TEST(Machine, EightAndThirtyTwoProcessorConfigurations)
+{
+    // The machine is not hard-wired to 16 nodes: any mesh that tiles
+    // works, and the workloads partition accordingly.
+    for (unsigned procs : {8u, 32u}) {
+        MachineConfig cfg;
+        cfg.numProcs = procs;
+        cfg.meshCols = 4;
+        apps::Run run = apps::runWorkload("lu", cfg);
+        ASSERT_TRUE(run.finished) << procs;
+        EXPECT_TRUE(run.verified) << procs;
+    }
+}
+
+TEST(Machine, SeedChangesWorkloadDataNotStructure)
+{
+    MachineConfig a;
+    a.numProcs = 4;
+    MachineConfig b = a;
+    b.seed = 999;
+    apps::Run ra = apps::runWorkload("lu", a);
+    apps::Run rb = apps::runWorkload("lu", b);
+    ASSERT_TRUE(ra.finished && rb.finished);
+    EXPECT_TRUE(ra.verified && rb.verified);
+    // Same reference counts (structure), different data -> slightly
+    // different timing is permitted but the access counts match.
+    EXPECT_DOUBLE_EQ(ra.metrics.reads, rb.metrics.reads);
+    EXPECT_DOUBLE_EQ(ra.metrics.writes, rb.metrics.writes);
+}
+
+TEST(Machine, CharacterizersOnlyWhenEnabled)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 4;
+    apps::Run plain = apps::runWorkload("matmul", cfg);
+    EXPECT_EQ(plain.machine->characterizer(0), nullptr);
+
+    apps::RunOptions opts;
+    opts.characterize = true;
+    apps::Run with = apps::runWorkload("matmul", cfg, opts);
+    ASSERT_NE(with.machine->characterizer(0), nullptr);
+    EXPECT_GT(with.machine->characterizer(0)->totalMisses(), 0u);
+}

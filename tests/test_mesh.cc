@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the wormhole mesh: X-Y routing, latency model,
+ * link contention, FIFO per path, traffic accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/mesh.hh"
+
+using namespace psim;
+
+namespace
+{
+
+struct Harness
+{
+    EventQueue eq;
+    MachineConfig cfg;
+    Mesh mesh{eq, cfg};
+};
+
+} // namespace
+
+TEST(Mesh, HopCountsAreManhattan)
+{
+    Harness h;
+    // 4x4 mesh: node = row*4 + col.
+    EXPECT_EQ(h.mesh.hops(0, 1), 1u);
+    EXPECT_EQ(h.mesh.hops(0, 4), 1u);
+    EXPECT_EQ(h.mesh.hops(0, 5), 2u);
+    EXPECT_EQ(h.mesh.hops(0, 15), 6u);
+    EXPECT_EQ(h.mesh.hops(15, 0), 6u);
+    EXPECT_EQ(h.mesh.hops(3, 12), 6u);
+}
+
+TEST(Mesh, UncontendedLatencyMatchesFormula)
+{
+    Harness h;
+    Tick done = kTickNever;
+    unsigned flits = 10;
+    h.mesh.send(0, 5, flits, [&] { done = h.eq.now(); });
+    h.eq.run();
+    // hops * fallThrough + flits network cycles.
+    EXPECT_EQ(done, h.mesh.baseLatency(2, flits));
+}
+
+TEST(Mesh, SingleHopHeaderMessage)
+{
+    Harness h;
+    Tick done = 0;
+    h.mesh.send(0, 1, 2, [&] { done = h.eq.now(); });
+    h.eq.run();
+    EXPECT_EQ(done, 3u + 2u); // 1 hop fall-through + 2 flits
+}
+
+TEST(Mesh, SharedLinkSerializesWorms)
+{
+    Harness h;
+    std::vector<Tick> arrivals;
+    // Two messages over the same 0->1 link, injected together.
+    h.mesh.send(0, 1, 10, [&] { arrivals.push_back(h.eq.now()); });
+    h.mesh.send(0, 1, 10, [&] { arrivals.push_back(h.eq.now()); });
+    h.eq.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    EXPECT_EQ(arrivals[0], 13u);
+    // The second worm waits for the first to release the link.
+    EXPECT_EQ(arrivals[1], arrivals[0] + 10u);
+}
+
+TEST(Mesh, DisjointPathsDoNotInterfere)
+{
+    Harness h;
+    std::vector<Tick> arrivals(2, 0);
+    h.mesh.send(0, 1, 10, [&] { arrivals[0] = h.eq.now(); });
+    h.mesh.send(4, 5, 10, [&] { arrivals[1] = h.eq.now(); });
+    h.eq.run();
+    EXPECT_EQ(arrivals[0], 13u);
+    EXPECT_EQ(arrivals[1], 13u);
+}
+
+TEST(Mesh, FifoPerPath)
+{
+    Harness h;
+    std::vector<int> order;
+    h.mesh.send(0, 15, 10, [&] { order.push_back(1); });
+    h.mesh.send(0, 15, 2, [&] { order.push_back(2); });
+    h.eq.run();
+    // The short message must not overtake the long one on the same path.
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(Mesh, CountsTraffic)
+{
+    Harness h;
+    h.mesh.send(0, 1, 10, [] {});
+    h.mesh.send(1, 2, 2, [] {});
+    h.eq.run();
+    EXPECT_DOUBLE_EQ(h.mesh.messages.value(), 2.0);
+    EXPECT_DOUBLE_EQ(h.mesh.flitsInjected.value(), 12.0);
+    EXPECT_EQ(h.mesh.msgLatency.count(), 2u);
+}
+
+TEST(Mesh, XyRoutingTakesXFirst)
+{
+    // Send 0 -> 5 (one east, one south) and a competing message over
+    // the 0->1 east link; the 0->5 route must contend on that link.
+    Harness h;
+    Tick t05 = 0;
+    h.mesh.send(0, 1, 10, [] {});
+    h.mesh.send(0, 5, 2, [&] { t05 = h.eq.now(); });
+    h.eq.run();
+    // Without contention: 2 hops * 3 + 2 = 8. The east link is busy
+    // for 10 cycles, so the header leaves at 10 instead of 0.
+    EXPECT_EQ(t05, 10u + 8u);
+}
+
+TEST(MeshDeath, SelfSendPanics)
+{
+    Harness h;
+    EXPECT_DEATH(h.mesh.send(3, 3, 2, [] {}), "send to self");
+}

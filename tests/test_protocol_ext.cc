@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the protocol/consistency extensions: sequential-consistency
+ * mode and the migratory-sharing directory optimization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/driver.hh"
+#include "harness.hh"
+#include "mem/mem_ctrl.hh"
+
+using namespace psim;
+using namespace psim::test;
+
+namespace
+{
+
+Addr
+pageBase(const MachineConfig &cfg, unsigned page)
+{
+    return 0x10000000ULL + static_cast<Addr>(page) * cfg.pageSize;
+}
+
+MachineConfig
+quadCfg()
+{
+    MachineConfig cfg;
+    cfg.numProcs = 4;
+    return cfg;
+}
+
+/** Lock-protected read-modify-write: the classic migratory pattern. */
+Task
+migrator(apps::ThreadCtx &ctx, Addr counter, Addr lock, unsigned rounds)
+{
+    for (unsigned i = 0; i < rounds; ++i) {
+        co_await ctx.lock(lock);
+        auto v = co_await ctx.read<std::uint64_t>(counter);
+        co_await ctx.write<std::uint64_t>(counter, v + 1);
+        co_await ctx.unlock(lock);
+    }
+}
+
+} // namespace
+
+TEST(SequentialConsistency, StoresStallTheProcessor)
+{
+    MachineConfig cfg = quadCfg();
+    cfg.sequentialConsistency = true;
+    MiniSystem sys(cfg);
+    Addr x = pageBase(cfg, 1); // remote page
+
+    std::vector<Tick> lat;
+    auto writer = [](apps::ThreadCtx &ctx, Machine &m, Addr a,
+                     std::vector<Tick> &out) -> Task {
+        Tick t0 = m.eq().now();
+        co_await ctx.write<double>(a, 1.0);
+        out.push_back(m.eq().now() - t0);
+    };
+    sys.run(0, writer(sys.ctx(0), sys.m, x, lat));
+    ASSERT_TRUE(sys.finish());
+    ASSERT_EQ(lat.size(), 1u);
+    // Under SC a remote write-miss store costs a full round trip, not
+    // the 1-pclock buffered retirement of RC.
+    EXPECT_GT(lat[0], 30u);
+    EXPECT_GT(sys.m.node(0).cpu().writeStall.value(), 0.0);
+}
+
+TEST(SequentialConsistency, WorkloadsStillVerify)
+{
+    MachineConfig cfg = quadCfg();
+    cfg.sequentialConsistency = true;
+    for (const char *app : {"lu", "ocean", "pthor"}) {
+        psim::apps::Run run = apps::runWorkload(app, cfg);
+        ASSERT_TRUE(run.finished) << app;
+        EXPECT_TRUE(run.verified) << app;
+    }
+}
+
+TEST(SequentialConsistency, IsSlowerThanReleaseConsistency)
+{
+    MachineConfig rc = quadCfg();
+    MachineConfig sc = quadCfg();
+    sc.sequentialConsistency = true;
+    psim::apps::Run rc_run = apps::runWorkload("ocean", rc);
+    psim::apps::Run sc_run = apps::runWorkload("ocean", sc);
+    ASSERT_TRUE(rc_run.finished && sc_run.finished);
+    EXPECT_GT(sc_run.metrics.execTicks, rc_run.metrics.execTicks)
+            << "buffered writes must pay off";
+}
+
+TEST(Migratory, LockProtectedCounterIsDetected)
+{
+    MachineConfig cfg = quadCfg();
+    cfg.migratoryOpt = true;
+    MiniSystem sys(cfg);
+    Addr counter = pageBase(cfg, 1);
+    Addr lock = pageBase(cfg, 2);
+
+    for (NodeId n = 0; n < 4; ++n)
+        sys.run(n, migrator(sys.ctx(n), counter, lock, 12));
+    ASSERT_TRUE(sys.finish());
+
+    EXPECT_EQ(sys.m.store().load<std::uint64_t>(counter), 48u);
+    const MemCtrl &home = sys.m.node(cfg.homeOf(counter)).mem();
+    EXPECT_GE(home.migratoryDetected.value(), 1.0);
+    EXPECT_GT(home.migratoryGrants.value(), 0.0);
+    EXPECT_TRUE(home.isMigratory(cfg.blockAddr(counter)));
+
+    // The point of the optimization: once detected, the read brings an
+    // exclusive copy, so the following write needs no upgrade.
+    double upgrades = 0;
+    for (NodeId n = 0; n < 4; ++n)
+        upgrades += sys.m.node(n).slc().upgrades.value();
+    MiniSystem base(quadCfg());
+    for (NodeId n = 0; n < 4; ++n)
+        base.run(n, migrator(base.ctx(n), counter, lock, 12));
+    ASSERT_TRUE(base.finish());
+    double base_upgrades = 0;
+    for (NodeId n = 0; n < 4; ++n)
+        base_upgrades += base.m.node(n).slc().upgrades.value();
+    EXPECT_LT(upgrades, base_upgrades * 0.5);
+    sys.m.checkCoherenceInvariants();
+}
+
+TEST(Migratory, ReadSharedBlocksAreDemoted)
+{
+    MachineConfig cfg = quadCfg();
+    cfg.migratoryOpt = true;
+    MiniSystem sys(cfg);
+    Addr x = pageBase(cfg, 1);
+    Addr lock = pageBase(cfg, 2);
+    Addr bar = pageBase(cfg, 3);
+
+    // Phase 1: migratory behaviour (alternating writers) classifies
+    // the block. Phase 2: pure read sharing must demote it again.
+    auto t = [](apps::ThreadCtx &ctx, Addr a, Addr l, Addr b) -> Task {
+        for (unsigned i = 0; i < 6; ++i) {
+            co_await ctx.lock(l);
+            auto v = co_await ctx.read<std::uint64_t>(a);
+            co_await ctx.write<std::uint64_t>(a, v + 1);
+            co_await ctx.unlock(l);
+        }
+        co_await ctx.barrier(b);
+        for (unsigned i = 0; i < 8; ++i) {
+            co_await ctx.read<std::uint64_t>(a);
+            co_await ctx.think(50);
+        }
+        co_await ctx.barrier(b);
+    };
+    for (NodeId n = 0; n < 4; ++n)
+        sys.run(n, t(sys.ctx(n), x, lock, bar));
+    ASSERT_TRUE(sys.finish());
+
+    const MemCtrl &home = sys.m.node(cfg.homeOf(x)).mem();
+    EXPECT_GE(home.migratoryDetected.value(), 1.0);
+    EXPECT_GE(home.migratoryDemotions.value(), 1.0);
+    EXPECT_FALSE(home.isMigratory(cfg.blockAddr(x)));
+    sys.m.checkCoherenceInvariants();
+}
+
+TEST(Migratory, DisabledByDefault)
+{
+    MachineConfig cfg = quadCfg();
+    ASSERT_FALSE(cfg.migratoryOpt);
+    MiniSystem sys(cfg);
+    Addr counter = pageBase(cfg, 1);
+    Addr lock = pageBase(cfg, 2);
+    for (NodeId n = 0; n < 4; ++n)
+        sys.run(n, migrator(sys.ctx(n), counter, lock, 8));
+    ASSERT_TRUE(sys.finish());
+    const MemCtrl &home = sys.m.node(cfg.homeOf(counter)).mem();
+    EXPECT_DOUBLE_EQ(home.migratoryDetected.value(), 0.0);
+    EXPECT_DOUBLE_EQ(home.migratoryGrants.value(), 0.0);
+}
+
+TEST(Migratory, AllWorkloadsVerifyWithOptimizationOn)
+{
+    MachineConfig cfg = quadCfg();
+    cfg.migratoryOpt = true;
+    for (const char *app : {"mp3d", "pthor", "radix", "lu"}) {
+        psim::apps::Run run = apps::runWorkload(app, cfg);
+        ASSERT_TRUE(run.finished) << app;
+        EXPECT_TRUE(run.verified) << app;
+        run.machine->checkCoherenceInvariants();
+    }
+}
+
+TEST(Migratory, CombinesWithPrefetching)
+{
+    // The authors' companion-paper combination: protocol extension +
+    // prefetching together, here smoke-checked for correctness.
+    MachineConfig cfg = quadCfg();
+    cfg.migratoryOpt = true;
+    cfg.prefetch.scheme = PrefetchScheme::Sequential;
+    psim::apps::Run run = apps::runWorkload("radix", cfg);
+    ASSERT_TRUE(run.finished);
+    EXPECT_TRUE(run.verified);
+    run.machine->checkCoherenceInvariants();
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for the shared-memory bump allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/shmem.hh"
+
+using namespace psim;
+using namespace psim::apps;
+
+TEST(ShmAllocator, AllocationsDoNotOverlap)
+{
+    MachineConfig cfg;
+    ShmAllocator shm(cfg);
+    Addr a = shm.alloc(100);
+    Addr b = shm.alloc(100);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(ShmAllocator, RespectsAlignment)
+{
+    MachineConfig cfg;
+    ShmAllocator shm(cfg);
+    shm.alloc(3);
+    Addr a = shm.alloc(8, 64);
+    EXPECT_EQ(a % 64, 0u);
+    Addr p = shm.alloc(10, cfg.pageSize);
+    EXPECT_EQ(p % cfg.pageSize, 0u);
+}
+
+TEST(ShmAllocator, AllocOnNodeLandsOnRequestedHome)
+{
+    MachineConfig cfg;
+    ShmAllocator shm(cfg);
+    for (NodeId n = 0; n < cfg.numProcs; n += 3) {
+        Addr a = shm.allocOnNode(64, n);
+        EXPECT_EQ(cfg.homeOf(a), n);
+        EXPECT_EQ(a % cfg.pageSize, 0u);
+    }
+}
+
+TEST(ShmAllocator, AllocSyncIsBlockAligned)
+{
+    MachineConfig cfg;
+    ShmAllocator shm(cfg);
+    shm.alloc(7);
+    Addr s1 = shm.allocSync();
+    Addr s2 = shm.allocSync();
+    EXPECT_EQ(s1 % cfg.blockSize, 0u);
+    EXPECT_EQ(s2 % cfg.blockSize, 0u);
+    // Distinct sync variables never share a block (no false sharing).
+    EXPECT_NE(cfg.blockAddr(s1), cfg.blockAddr(s2));
+}
+
+TEST(ShmAllocator, BrkAdvancesMonotonically)
+{
+    MachineConfig cfg;
+    ShmAllocator shm(cfg);
+    Addr b0 = shm.brk();
+    shm.alloc(1000);
+    EXPECT_GT(shm.brk(), b0);
+}
+
+TEST(ShmAllocatorDeath, BadAlignmentPanics)
+{
+    MachineConfig cfg;
+    ShmAllocator shm(cfg);
+    EXPECT_DEATH(shm.alloc(8, 3), "power of 2");
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace psim::stats;
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    Scalar s;
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s = 7;
+    EXPECT_DOUBLE_EQ(s.value(), 7.0);
+}
+
+TEST(Average, TracksMeanMinMaxCount)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2);
+    a.sample(4);
+    a.sample(9);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+}
+
+TEST(Average, SingleSampleIsMinAndMax)
+{
+    Average a;
+    a.sample(-3);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), -3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), -3.0);
+}
+
+TEST(Histogram, CountsAndDominantKey)
+{
+    Histogram h;
+    h.sample(1, 3);
+    h.sample(21, 7);
+    h.sample(1, 2);
+    EXPECT_EQ(h.total(), 12u);
+    EXPECT_EQ(h.count(1), 5u);
+    EXPECT_EQ(h.count(21), 7u);
+    EXPECT_EQ(h.count(99), 0u);
+    EXPECT_EQ(h.dominantKey(), 21);
+    EXPECT_DOUBLE_EQ(h.fraction(21), 7.0 / 12.0);
+}
+
+TEST(Histogram, EmptyHistogramIsSafe)
+{
+    Histogram h;
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.dominantKey(), 0);
+    EXPECT_DOUBLE_EQ(h.fraction(5), 0.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.sample(3);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(Group, DumpsRegisteredStats)
+{
+    Scalar s;
+    s = 42;
+    Average a;
+    a.sample(10);
+    Histogram h;
+    h.sample(21, 2);
+
+    Group g("test.group");
+    g.addScalar("answer", &s, "the answer");
+    g.addAverage("lat", &a, "latency");
+    g.addHistogram("strides", &h, "stride histogram");
+
+    std::ostringstream os;
+    g.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("test.group.answer"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("test.group.lat.mean"), std::string::npos);
+    EXPECT_NE(out.find("test.group.strides[21]"), std::string::npos);
+    EXPECT_NE(out.find("# the answer"), std::string::npos);
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit and integration tests for trace capture and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "apps/driver.hh"
+#include "trace/trace.hh"
+
+using namespace psim;
+
+namespace
+{
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+} // namespace
+
+TEST(Trace, RoundTripsRecords)
+{
+    std::string path = tmpPath("roundtrip.psimtrace");
+    std::vector<TraceRecord> in;
+    for (int i = 0; i < 100; ++i) {
+        TraceRecord r;
+        r.tick = static_cast<Tick>(i * 7);
+        r.pc = 0x1000 + i * 4;
+        r.addr = 0x10000000ULL + i * 32;
+        r.node = static_cast<NodeId>(i % 16);
+        r.kind = i % 3 ? TraceRecord::Kind::Read
+                       : TraceRecord::Kind::Write;
+        r.hit = i % 2;
+        in.push_back(r);
+    }
+    {
+        TraceWriter w(path);
+        for (const auto &r : in)
+            w.append(r);
+        w.close();
+        EXPECT_EQ(w.count(), 100u);
+    }
+    auto out = TraceReader::readAll(path);
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_TRUE(out[i] == in[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+TEST(Trace, EmptyTraceIsValid)
+{
+    std::string path = tmpPath("empty.psimtrace");
+    {
+        TraceWriter w(path);
+        w.close();
+    }
+    auto out = TraceReader::readAll(path);
+    EXPECT_TRUE(out.empty());
+    std::remove(path.c_str());
+}
+
+TEST(Trace, WriterClosesOnDestruction)
+{
+    std::string path = tmpPath("dtor.psimtrace");
+    {
+        TraceWriter w(path);
+        TraceRecord r;
+        r.addr = 42;
+        w.append(r);
+        // no explicit close
+    }
+    auto out = TraceReader::readAll(path);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].addr, 42u);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, CapturesAFullWorkloadRun)
+{
+    std::string path = tmpPath("lu.psimtrace");
+    MachineConfig cfg;
+    cfg.numProcs = 4;
+
+    Machine machine(cfg);
+    auto wl = apps::makeWorkload("lu");
+    TraceWriter writer(path);
+    machine.enableTracing(writer);
+    wl->attach(machine);
+    machine.run();
+    ASSERT_TRUE(machine.allFinished());
+    EXPECT_TRUE(wl->verify(machine));
+    writer.close();
+
+    // The trace must contain exactly the requests the SLCs saw.
+    double slc_reads = 0, slc_writes = 0;
+    for (NodeId n = 0; n < cfg.numProcs; ++n) {
+        slc_reads += machine.node(n).slc().demandReads.value();
+        slc_writes += machine.node(n).slc().writeRequests.value();
+    }
+    auto records = TraceReader::readAll(path);
+    std::uint64_t reads = 0, writes = 0, misses = 0;
+    for (const auto &r : records) {
+        if (r.kind == TraceRecord::Kind::Read) {
+            ++reads;
+            if (!r.hit)
+                ++misses;
+        } else {
+            ++writes;
+        }
+    }
+    EXPECT_DOUBLE_EQ(static_cast<double>(reads), slc_reads);
+    EXPECT_DOUBLE_EQ(static_cast<double>(writes), slc_writes);
+    EXPECT_GT(misses, 0u);
+
+    // Ticks are non-decreasing per node.
+    std::map<NodeId, Tick> last;
+    for (const auto &r : records) {
+        auto it = last.find(r.node);
+        if (it != last.end()) {
+            EXPECT_GE(r.tick, it->second);
+        }
+        last[r.node] = r.tick;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceReader r("/nonexistent/file.trace"),
+            ::testing::ExitedWithCode(1), "cannot open trace");
+}
+
+TEST(TraceDeath, GarbageFileIsFatal)
+{
+    std::string path = tmpPath("garbage.psimtrace");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a trace file at all, not even close";
+    }
+    EXPECT_EXIT(TraceReader r(path), ::testing::ExitedWithCode(1),
+            "not a psim trace");
+    std::remove(path.c_str());
+}

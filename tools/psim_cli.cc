@@ -1,0 +1,163 @@
+/**
+ * @file
+ * psim command-line driver: run any workload under any configuration,
+ * print the paper's metrics, and optionally dump full statistics,
+ * Table-2 characteristics, or a reference trace.
+ *
+ * Usage:
+ *   psim_cli [options]
+ *     --workload NAME    mp3d|cholesky|water|lu|ocean|pthor|matmul|fft
+ *     --scheme NAME      none|seq|idet|ddet|adaptive|idet-la
+ *     --degree N         degree of prefetching (default 1)
+ *     --procs N          processors (default 16)
+ *     --slc BYTES        SLC size, 0 = infinite (default 0)
+ *     --block BYTES      cache block size (default 32)
+ *     --scale N          data-set scale (default 1)
+ *     --seed N           PRNG seed (default 12345)
+ *     --stats            dump per-node statistics
+ *     --characterize     print Table-2 style characteristics (node 0)
+ *     --trace FILE       write the SLC reference trace to FILE
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "apps/driver.hh"
+#include "trace/trace.hh"
+
+using namespace psim;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+            "usage: %s [--workload NAME] [--scheme NAME] [--degree N]\n"
+            "          [--procs N] [--slc BYTES] [--block BYTES]\n"
+            "          [--scale N] [--seed N] [--stats]\n"
+            "          [--characterize] [--trace FILE]\n", argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "lu";
+    std::string trace_path;
+    bool dump_stats = false;
+    bool characterize = false;
+    MachineConfig cfg;
+    apps::RunOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = value();
+        } else if (arg == "--scheme") {
+            cfg.prefetch.scheme = parseScheme(value());
+        } else if (arg == "--degree") {
+            cfg.prefetch.degree = static_cast<unsigned>(atoi(value()));
+        } else if (arg == "--procs") {
+            cfg.numProcs = static_cast<unsigned>(atoi(value()));
+            if (cfg.numProcs < 4)
+                cfg.meshCols = cfg.numProcs;
+        } else if (arg == "--slc") {
+            cfg.slcSize = static_cast<unsigned>(atoi(value()));
+        } else if (arg == "--block") {
+            cfg.blockSize = static_cast<unsigned>(atoi(value()));
+        } else if (arg == "--scale") {
+            opts.scale = static_cast<unsigned>(atoi(value()));
+        } else if (arg == "--seed") {
+            cfg.seed = static_cast<std::uint64_t>(atoll(value()));
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--characterize") {
+            characterize = true;
+        } else if (arg == "--trace") {
+            trace_path = value();
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+        }
+    }
+
+    opts.characterize = characterize;
+
+    // Tracing has to attach before the run, so drive the pieces that
+    // runWorkload() would otherwise wrap.
+    auto machine = std::make_unique<Machine>(cfg);
+    auto wl = apps::makeWorkload(workload, opts.scale);
+    std::unique_ptr<TraceWriter> tracer;
+    if (!trace_path.empty()) {
+        tracer = std::make_unique<TraceWriter>(trace_path);
+        machine->enableTracing(*tracer);
+    }
+    if (characterize)
+        machine->enableCharacterizers();
+    wl->attach(*machine);
+    machine->run();
+    if (!machine->allFinished()) {
+        std::fprintf(stderr, "error: machine did not quiesce\n");
+        return 1;
+    }
+    bool verified = wl->verify(*machine);
+    machine->checkCoherenceInvariants();
+    if (tracer)
+        tracer->close();
+
+    RunMetrics mx = machine->metrics();
+    std::printf("workload         %s (scale %u)\n", workload.c_str(),
+                opts.scale);
+    std::printf("scheme           %s (degree %u)\n",
+                toString(cfg.prefetch.scheme), cfg.prefetch.degree);
+    std::printf("verified         %s\n", verified ? "yes" : "NO");
+    std::printf("exec ticks       %llu\n",
+                static_cast<unsigned long long>(mx.execTicks));
+    std::printf("loads / stores   %.0f / %.0f\n", mx.reads, mx.writes);
+    std::printf("read misses      %.0f (cold %.0f, coh %.0f, repl %.0f)\n",
+                mx.readMisses, mx.missesCold, mx.missesCoherence,
+                mx.missesReplacement);
+    std::printf("read stall       %.0f ticks\n", mx.readStall);
+    std::printf("prefetches       %.0f issued, %.0f useful (eff %.2f)\n",
+                mx.pfIssued, mx.pfUseful, mx.prefetchEfficiency());
+    std::printf("network flits    %.0f\n", mx.flits);
+    if (tracer)
+        std::printf("trace            %llu records -> %s\n",
+                    static_cast<unsigned long long>(tracer->count()),
+                    trace_path.c_str());
+
+    if (characterize) {
+        auto report = machine->characterizer(0)->finalize();
+        std::printf("\nnode-0 characteristics (Table-2 methodology):\n");
+        std::printf("  stride misses   %.1f%%\n",
+                    100.0 * report.strideFraction);
+        std::printf("  avg seq length  %.1f\n", report.avgSequenceLength);
+        for (std::size_t i = 0; i < report.topStrides.size() && i < 4;
+             ++i) {
+            std::printf("  stride %lld blocks: %.0f%%\n",
+                        static_cast<long long>(
+                                report.topStrides[i].first),
+                        100.0 * report.topStrides[i].second);
+        }
+    }
+    if (dump_stats) {
+        std::printf("\n");
+        machine->dumpStats(std::cout);
+    }
+    return verified ? 0 : 1;
+}
