@@ -7,7 +7,8 @@
  * strides (and cites earlier 128-byte-block results). This harness
  * compares 32 B and 128 B blocks for the baseline and sequential
  * prefetching across the six applications, reporting how many read
- * misses sequential prefetching removes at each block size.
+ * misses sequential prefetching removes at each block size. The
+ * (app, block, scheme) runs are independent grid cells.
  */
 
 #include "common.hh"
@@ -16,8 +17,27 @@ using namespace psim;
 using namespace psim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
+    const std::vector<std::string> &workloads = opt.workloads();
+    const std::vector<unsigned> blocks = {32, 128};
+
+    // Cell layout per app: [base@32, seq@32, base@128, seq@128].
+    const std::size_t per_app = blocks.size() * 2;
+    std::vector<RunMetrics> results(workloads.size() * per_app);
+    runGrid(results.size(), resolveJobs(opt.jobs), [&](std::size_t i) {
+        const std::string &name = workloads[i / per_app];
+        std::size_t k = i % per_app;
+        unsigned block = blocks[k / 2];
+        bool seq = k % 2 == 1;
+        MachineConfig cfg = seq ? paperConfig(PrefetchScheme::Sequential)
+                                : paperConfig();
+        cfg.blockSize = block;
+        results[i] = runChecked(name, cfg).metrics;
+        progress(name.c_str(), seq ? "seq" : "base");
+    });
+
     std::printf("Ablation: block size 32 B vs 128 B (16 procs, "
                 "infinite SLC, d = 1)\n");
     std::printf("paper: larger blocks make sequential prefetching "
@@ -27,23 +47,16 @@ main()
                 "base misses", "seq misses", "seq rel", "seq pf eff");
     hr(92);
 
-    for (const auto &name : apps::paperWorkloads()) {
-        for (unsigned block : {32u, 128u}) {
-            MachineConfig base_cfg = paperConfig();
-            base_cfg.blockSize = block;
-            apps::Run base = runChecked(name, base_cfg);
-
-            MachineConfig seq_cfg =
-                    paperConfig(PrefetchScheme::Sequential);
-            seq_cfg.blockSize = block;
-            apps::Run seq = runChecked(name, seq_cfg);
-
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &name = workloads[w];
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+            const RunMetrics &base = results[w * per_app + b * 2];
+            const RunMetrics &seq = results[w * per_app + b * 2 + 1];
             std::printf("%-10s %5uB %14.0f %14.0f %14.2f %14.2f\n",
-                        name.c_str(), block, base.metrics.readMisses,
-                        seq.metrics.readMisses,
-                        seq.metrics.readMisses /
-                                base.metrics.readMisses,
-                        seq.metrics.prefetchEfficiency());
+                        name.c_str(), blocks[b], base.readMisses,
+                        seq.readMisses,
+                        seq.readMisses / base.readMisses,
+                        seq.prefetchEfficiency());
         }
         hr(92);
     }

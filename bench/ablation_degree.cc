@@ -7,7 +7,8 @@
  * between different values of d", which is why Figure 6 uses d = 1.
  * This harness sweeps d in {1, 2, 4, 8} for sequential and I-detection
  * prefetching on three contrasting applications: LU (unit stride),
- * Ocean (large stride) and MP3D (little stride).
+ * Ocean (large stride) and MP3D (little stride). All (app, scheme, d)
+ * runs — including each app's baseline — are independent grid cells.
  */
 
 #include "common.hh"
@@ -16,12 +17,34 @@ using namespace psim;
 using namespace psim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
+
     const std::vector<unsigned> degrees = {1, 2, 4, 8};
     const std::vector<std::string> workloads = {"lu", "ocean", "mp3d"};
     const std::vector<PrefetchScheme> schemes = {
         PrefetchScheme::Sequential, PrefetchScheme::IDet};
+
+    // Cell layout per app: [baseline, scheme0 x degrees, scheme1 x
+    // degrees] — 1 + 2*4 = 9 cells per app.
+    const std::size_t per_app = 1 + schemes.size() * degrees.size();
+    std::vector<RunMetrics> results(workloads.size() * per_app);
+    runGrid(results.size(), resolveJobs(opt.jobs), [&](std::size_t i) {
+        const std::string &name = workloads[i / per_app];
+        std::size_t k = i % per_app;
+        if (k == 0) {
+            results[i] = runChecked(name, paperConfig()).metrics;
+            progress(name.c_str(), "baseline");
+            return;
+        }
+        PrefetchScheme scheme = schemes[(k - 1) / degrees.size()];
+        unsigned d = degrees[(k - 1) % degrees.size()];
+        MachineConfig cfg = paperConfig(scheme);
+        cfg.prefetch.degree = d;
+        results[i] = runChecked(name, cfg).metrics;
+        progress(name.c_str(), toString(scheme));
+    });
 
     std::printf("Ablation: degree of prefetching d (16 procs, "
                 "infinite SLC)\n");
@@ -32,22 +55,21 @@ main()
                 "d", "rel misses", "rel stall", "pf eff", "rel flits");
     hr(92);
 
-    for (const auto &name : workloads) {
-        apps::Run base = runChecked(name, paperConfig());
-        for (PrefetchScheme scheme : schemes) {
-            for (unsigned d : degrees) {
-                MachineConfig cfg = paperConfig(scheme);
-                cfg.prefetch.degree = d;
-                apps::Run run = runChecked(name, cfg);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &name = workloads[w];
+        const RunMetrics &base = results[w * per_app];
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            for (std::size_t di = 0; di < degrees.size(); ++di) {
+                const RunMetrics &run = results[w * per_app + 1 +
+                                                s * degrees.size() + di];
                 std::printf("%-8s %-7s %4u %14.2f %14.2f %10.2f "
                             "%12.2f\n",
-                            name.c_str(), toString(scheme), d,
-                            run.metrics.readMisses /
-                                    base.metrics.readMisses,
-                            run.metrics.readStall /
-                                    base.metrics.readStall,
-                            run.metrics.prefetchEfficiency(),
-                            run.metrics.flits / base.metrics.flits);
+                            name.c_str(), toString(schemes[s]),
+                            degrees[di],
+                            run.readMisses / base.readMisses,
+                            run.readStall / base.readStall,
+                            run.prefetchEfficiency(),
+                            run.flits / base.flits);
             }
         }
         hr(92);

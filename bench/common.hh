@@ -12,13 +12,159 @@
 #define PSIM_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "apps/driver.hh"
+#include "sim/parallel.hh"
 
 namespace psim::bench
 {
+
+/**
+ * Options shared by every grid harness. Independent (app, scheme)
+ * cells run on `jobs` threads (see sim/parallel.hh); results are
+ * collected per cell and printed in grid order afterwards, so the
+ * table text is byte-identical for any job count.
+ */
+struct BenchOptions
+{
+    unsigned jobs = 0;        ///< 0: PSIM_JOBS env, else hardware
+    std::string jsonPath;     ///< empty: no machine-readable output
+    std::vector<std::string> apps; ///< empty: the paper's six
+
+    /** The workload list this harness should run. */
+    const std::vector<std::string> &
+    workloads() const
+    {
+        return apps.empty() ? apps::paperWorkloads() : apps;
+    }
+};
+
+/**
+ * Parse `--jobs N` (or `-jN`), `--json <path>` and `--apps a,b,c`.
+ * Unknown arguments are fatal so typos do not silently serialize.
+ */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) {
+            if (i + 1 >= argc)
+                psim_fatal("%s needs a value", flag);
+            return std::string(argv[++i]);
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            opt.jobs = static_cast<unsigned>(
+                    std::strtoul(value("--jobs").c_str(), nullptr, 10));
+            if (opt.jobs == 0)
+                psim_fatal("--jobs must be a positive integer");
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+            opt.jobs = static_cast<unsigned>(
+                    std::strtoul(arg.c_str() + 2, nullptr, 10));
+            if (opt.jobs == 0)
+                psim_fatal("-jN must be a positive integer");
+        } else if (arg == "--json") {
+            opt.jsonPath = value("--json");
+        } else if (arg == "--apps") {
+            std::string list = value("--apps");
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                std::size_t comma = list.find(',', pos);
+                std::string name = list.substr(pos,
+                        comma == std::string::npos ? comma : comma - pos);
+                if (!name.empty())
+                    opt.apps.push_back(name);
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+            if (opt.apps.empty())
+                psim_fatal("--apps needs a comma-separated list");
+        } else {
+            psim_fatal("unknown argument '%s' "
+                       "(supported: --jobs N, --json PATH, --apps a,b)",
+                       arg.c_str());
+        }
+    }
+    return opt;
+}
+
+/** Serialized "  ran <app> <scheme>" progress line (stderr). */
+inline void
+progress(const char *app, const char *what)
+{
+    static std::mutex mx;
+    std::lock_guard<std::mutex> lk(mx);
+    std::fprintf(stderr, "  ran %-9s %-9s\n", app, what);
+}
+
+/**
+ * Minimal JSON emitter for machine-readable bench results — just
+ * enough structure for the result-trajectory tooling; no dependency.
+ */
+class JsonWriter
+{
+  public:
+    void
+    beginObject(const std::string &key = "")
+    {
+        comma();
+        if (!key.empty())
+            _out += '"' + key + "\":";
+        _out += '{';
+        _first = true;
+    }
+
+    void
+    endObject()
+    {
+        _out += '}';
+        _first = false;
+    }
+
+    void
+    field(const std::string &key, double v)
+    {
+        comma();
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        _out += '"' + key + "\":" + buf;
+    }
+
+    void
+    field(const std::string &key, const std::string &v)
+    {
+        comma();
+        _out += '"' + key + "\":\"" + v + '"';
+    }
+
+    /** Write the document to @p path (fatal on I/O error). */
+    void
+    write(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            psim_fatal("cannot write %s", path.c_str());
+        std::fputs(_out.c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+    }
+
+  private:
+    void
+    comma()
+    {
+        if (!_first)
+            _out += ',';
+        _first = false;
+    }
+
+    std::string _out;
+    bool _first = true;
+};
 
 inline MachineConfig
 paperConfig(PrefetchScheme scheme = PrefetchScheme::None)

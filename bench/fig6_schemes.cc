@@ -13,8 +13,15 @@
  * misses everywhere except Ocean (large strides) and PTHOR (no
  * locality); I-detection has the best prefetch efficiency; stride
  * prefetching generates less useless traffic.
+ *
+ * The 6 x 4 grid cells are independent simulations and run on
+ * `--jobs` threads (default: PSIM_JOBS, else hardware concurrency);
+ * the tables are printed from collected results in grid order, so the
+ * output is byte-identical to a serial run. `--json` (default
+ * BENCH_fig6.json) emits the machine-readable results.
  */
 
+#include <chrono>
 #include <map>
 
 #include "common.hh"
@@ -37,28 +44,44 @@ struct Cell
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
+    if (opt.jsonPath.empty())
+        opt.jsonPath = "BENCH_fig6.json";
+    const unsigned jobs = resolveJobs(opt.jobs);
+
     const std::vector<PrefetchScheme> schemes = {
         PrefetchScheme::None, PrefetchScheme::IDet, PrefetchScheme::DDet,
         PrefetchScheme::Sequential};
+    const std::vector<std::string> &workloads = opt.workloads();
+
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    std::vector<Cell> cells(workloads.size() * schemes.size());
+    runGrid(cells.size(), jobs, [&](std::size_t i) {
+        const std::string &name = workloads[i / schemes.size()];
+        PrefetchScheme scheme = schemes[i % schemes.size()];
+        apps::Run run = runChecked(name, paperConfig(scheme));
+        Cell c;
+        c.misses = run.metrics.readMisses;
+        c.stall = run.metrics.readStall;
+        c.eff = run.metrics.prefetchEfficiency();
+        c.flits = run.metrics.flits;
+        c.exec = run.metrics.execTicks;
+        cells[i] = c;
+        progress(name.c_str(), toString(scheme));
+    });
+
+    const double wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          wall_start)
+                    .count();
 
     std::map<std::string, std::map<PrefetchScheme, Cell>> grid;
-
-    for (const auto &name : apps::paperWorkloads()) {
-        for (PrefetchScheme scheme : schemes) {
-            apps::Run run = runChecked(name, paperConfig(scheme));
-            Cell c;
-            c.misses = run.metrics.readMisses;
-            c.stall = run.metrics.readStall;
-            c.eff = run.metrics.prefetchEfficiency();
-            c.flits = run.metrics.flits;
-            c.exec = run.metrics.execTicks;
-            grid[name][scheme] = c;
-            std::fprintf(stderr, "  ran %-9s %-9s\n", name.c_str(),
-                         toString(scheme));
-        }
-    }
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        grid[workloads[i / schemes.size()]][schemes[i % schemes.size()]] =
+                cells[i];
 
     auto panel = [&](const char *title,
                      auto value) {
@@ -69,7 +92,7 @@ main()
             std::printf(" %10s", toString(s));
         std::printf("\n");
         hr();
-        for (const auto &name : apps::paperWorkloads()) {
+        for (const auto &name : workloads) {
             std::printf("%-10s", name.c_str());
             for (PrefetchScheme s : schemes)
                 std::printf(" %10s",
@@ -125,7 +148,41 @@ main()
               return std::string(buf);
           });
 
-    std::printf("\nAll 24 runs verified numerically against native "
-                "references.\n");
+    JsonWriter json;
+    json.beginObject();
+    json.field("bench", std::string("fig6_schemes"));
+    json.field("jobs", static_cast<double>(jobs));
+    json.field("wall_seconds", wall_seconds);
+    json.beginObject("apps");
+    for (const auto &name : workloads) {
+        const Cell &base = grid[name][schemes[0]];
+        json.beginObject(name);
+        for (PrefetchScheme s : schemes) {
+            const Cell &c = grid[name][s];
+            json.beginObject(toString(s));
+            json.field("rel_read_misses",
+                       base.misses > 0 ? c.misses / base.misses : 1.0);
+            json.field("efficiency", c.eff);
+            json.field("rel_read_stall",
+                       base.stall > 0 ? c.stall / base.stall : 1.0);
+            json.field("rel_flits",
+                       base.flits > 0 ? c.flits / base.flits : 1.0);
+            json.field("rel_exec",
+                       base.exec > 0 ? static_cast<double>(c.exec) /
+                                       static_cast<double>(base.exec)
+                                     : 1.0);
+            json.endObject();
+        }
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+    json.write(opt.jsonPath);
+
+    std::printf("\nAll %zu runs verified numerically against native "
+                "references.\n", cells.size());
+    std::fprintf(stderr, "grid wall-clock: %.2fs with %u jobs "
+                 "(results: %s)\n", wall_seconds, jobs,
+                 opt.jsonPath.c_str());
     return 0;
 }

@@ -9,6 +9,9 @@
  * (sequential vs I-detection) on one sequential-friendly application
  * (LU) and the one stride-friendly application (Ocean). The conclusion
  * is robust if the per-application winner never flips.
+ *
+ * Every (configuration, app) point is an independent cell and runs on
+ * `--jobs` threads; lines are printed in sweep order afterwards.
  */
 
 #include "common.hh"
@@ -19,38 +22,87 @@ using namespace psim::bench;
 namespace
 {
 
-void
-comparePoint(const char *label, const MachineConfig &base_cfg)
+struct Point
 {
-    for (const char *app : {"lu", "ocean"}) {
-        MachineConfig none_cfg = base_cfg;
-        none_cfg.prefetch.scheme = PrefetchScheme::None;
-        apps::Run base = runChecked(app, none_cfg);
+    std::string label;
+    MachineConfig cfg;
+    std::string app;
+};
 
-        MachineConfig seq_cfg = base_cfg;
-        seq_cfg.prefetch.scheme = PrefetchScheme::Sequential;
-        apps::Run seq = runChecked(app, seq_cfg);
+std::string
+comparePoint(const Point &p)
+{
+    MachineConfig none_cfg = p.cfg;
+    none_cfg.prefetch.scheme = PrefetchScheme::None;
+    apps::Run base = runChecked(p.app, none_cfg);
 
-        MachineConfig idet_cfg = base_cfg;
-        idet_cfg.prefetch.scheme = PrefetchScheme::IDet;
-        apps::Run idet = runChecked(app, idet_cfg);
+    MachineConfig seq_cfg = p.cfg;
+    seq_cfg.prefetch.scheme = PrefetchScheme::Sequential;
+    apps::Run seq = runChecked(p.app, seq_cfg);
 
-        const char *winner =
-                seq.metrics.readMisses < idet.metrics.readMisses
-                        ? "seq" : "i-det";
-        std::printf("%-26s %-6s %12.2f %12.2f   winner: %s\n", label,
-                    app,
-                    seq.metrics.readMisses / base.metrics.readMisses,
-                    idet.metrics.readMisses / base.metrics.readMisses,
-                    winner);
-    }
+    MachineConfig idet_cfg = p.cfg;
+    idet_cfg.prefetch.scheme = PrefetchScheme::IDet;
+    apps::Run idet = runChecked(p.app, idet_cfg);
+
+    const char *winner =
+            seq.metrics.readMisses < idet.metrics.readMisses
+                    ? "seq" : "i-det";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%-26s %-6s %12.2f %12.2f   winner: %s\n",
+                  p.label.c_str(), p.app.c_str(),
+                  seq.metrics.readMisses / base.metrics.readMisses,
+                  idet.metrics.readMisses / base.metrics.readMisses,
+                  winner);
+    return buf;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
+
+    std::vector<Point> points;
+    auto addPoint = [&](const std::string &label,
+                        const MachineConfig &cfg) {
+        for (const char *app : {"lu", "ocean"})
+            points.push_back(Point{label, cfg, app});
+    };
+
+    addPoint("paper default", paperConfig());
+
+    for (unsigned slwb : {4u, 32u}) {
+        MachineConfig cfg = paperConfig();
+        cfg.slwbEntries = slwb;
+        addPoint("slwb=" + std::to_string(slwb), cfg);
+    }
+
+    for (unsigned flc : {2048u, 16384u}) {
+        MachineConfig cfg = paperConfig();
+        cfg.flcSize = flc;
+        addPoint("flc=" + std::to_string(flc / 1024) + "KB", cfg);
+    }
+
+    for (Tick ft : {1u, 6u}) {
+        MachineConfig cfg = paperConfig();
+        cfg.fallThrough = ft;
+        addPoint("fallThrough=" + std::to_string(ft), cfg);
+    }
+
+    for (Tick mem : {5u, 18u}) {
+        MachineConfig cfg = paperConfig();
+        cfg.memAccessLat = mem;
+        addPoint("memLat=" + std::to_string(mem * 10) + "ns", cfg);
+    }
+
+    std::vector<std::string> lines(points.size());
+    runGrid(points.size(), resolveJobs(opt.jobs), [&](std::size_t i) {
+        lines[i] = comparePoint(points[i]);
+        progress(points[i].app.c_str(), points[i].label.c_str());
+    });
+
     std::printf("Sensitivity: does the seq-vs-stride winner survive "
                 "parameter changes?\n");
     std::printf("(expected: seq wins LU, i-det wins Ocean, at every "
@@ -59,37 +111,8 @@ main()
     std::printf("%-26s %-6s %12s %12s\n", "configuration", "app",
                 "seq misses", "idet misses");
     hr(86);
-
-    comparePoint("paper default", paperConfig());
-
-    for (unsigned slwb : {4u, 32u}) {
-        MachineConfig cfg = paperConfig();
-        cfg.slwbEntries = slwb;
-        std::string label = "slwb=" + std::to_string(slwb);
-        comparePoint(label.c_str(), cfg);
-    }
-
-    for (unsigned flc : {2048u, 16384u}) {
-        MachineConfig cfg = paperConfig();
-        cfg.flcSize = flc;
-        std::string label = "flc=" + std::to_string(flc / 1024) + "KB";
-        comparePoint(label.c_str(), cfg);
-    }
-
-    for (Tick ft : {1u, 6u}) {
-        MachineConfig cfg = paperConfig();
-        cfg.fallThrough = ft;
-        std::string label = "fallThrough=" + std::to_string(ft);
-        comparePoint(label.c_str(), cfg);
-    }
-
-    for (Tick mem : {5u, 18u}) {
-        MachineConfig cfg = paperConfig();
-        cfg.memAccessLat = mem;
-        std::string label = "memLat=" + std::to_string(mem * 10) + "ns";
-        comparePoint(label.c_str(), cfg);
-    }
-
+    for (const auto &line : lines)
+        std::fputs(line.c_str(), stdout);
     hr(86);
     return 0;
 }

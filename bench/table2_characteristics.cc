@@ -18,8 +18,35 @@ using namespace psim;
 using namespace psim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
+    const std::vector<std::string> &workloads = opt.workloads();
+
+    // One independent cell per application; rows are formatted by the
+    // cells and printed in grid order below.
+    std::vector<std::string> rows(workloads.size());
+    runGrid(rows.size(), resolveJobs(opt.jobs), [&](std::size_t i) {
+        const std::string &name = workloads[i];
+        MachineConfig cfg = paperConfig();
+        apps::RunOptions opts;
+        opts.characterize = true;
+        apps::Run run = runChecked(name, cfg, opts);
+
+        // The paper considers the requests of one processor, "which
+        // has been shown to be representative"; node 0 here.
+        auto report = run.machine->characterizer(0)->finalize();
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "%-10s %13.1f%% %14.1f %12llu   %s\n", name.c_str(),
+                      100.0 * report.strideFraction,
+                      report.avgSequenceLength,
+                      static_cast<unsigned long long>(report.totalMisses),
+                      dominantStrides(report, 3).c_str());
+        rows[i] = buf;
+        progress(name.c_str(), "table2");
+    });
+
     std::printf("Table 2: application characteristics, infinite SLC "
                 "(baseline, 16 procs, 32 B blocks)\n");
     std::printf("paper reference:  MP3D 9.2%% / 5.2 / 1(76%%)  "
@@ -33,21 +60,8 @@ main()
                 "dominant strides (blocks)");
     hr();
 
-    for (const auto &name : apps::paperWorkloads()) {
-        MachineConfig cfg = paperConfig();
-        apps::RunOptions opts;
-        opts.characterize = true;
-        apps::Run run = runChecked(name, cfg, opts);
-
-        // The paper considers the requests of one processor, "which
-        // has been shown to be representative"; node 0 here.
-        auto report = run.machine->characterizer(0)->finalize();
-        std::printf("%-10s %13.1f%% %14.1f %12llu   %s\n", name.c_str(),
-                    100.0 * report.strideFraction,
-                    report.avgSequenceLength,
-                    static_cast<unsigned long long>(report.totalMisses),
-                    dominantStrides(report, 3).c_str());
-    }
+    for (const auto &row : rows)
+        std::fputs(row.c_str(), stdout);
     hr();
     std::printf("\nstride misses = %% of demand read misses inside "
                 "stride sequences (>=3 equidistant\naccesses from one "

@@ -49,8 +49,20 @@ trend(double small, double big, double tol = 0.05)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
+    const std::vector<std::string> &workloads = opt.workloads();
+
+    // Two cells (scale 1, scale 2) per application, all independent.
+    std::vector<Row> measured(workloads.size() * 2);
+    runGrid(measured.size(), resolveJobs(opt.jobs), [&](std::size_t i) {
+        const std::string &name = workloads[i / 2];
+        unsigned scale = 1 + static_cast<unsigned>(i % 2);
+        measured[i] = measure(name, scale);
+        progress(name.c_str(), scale == 1 ? "scale1" : "scale2");
+    });
+
     std::printf("Table 4: characteristics for larger data sets, "
                 "infinite SLC (scale 1 vs scale 2)\n");
     std::printf("paper expectation: stride fraction higher for "
@@ -65,9 +77,10 @@ main()
 
     // The paper omits PTHOR here for simulation-time reasons; it is
     // cheap in this reproduction, so it is included as an extension.
-    for (const auto &name : apps::paperWorkloads()) {
-        Row small = measure(name, 1);
-        Row big = measure(name, 2);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &name = workloads[w];
+        const Row &small = measured[w * 2];
+        const Row &big = measured[w * 2 + 1];
         std::printf("%-10s | %5.1f%% -> %5.1f%% %6s | %5.1f -> %5.1f "
                     "%8s | %3lld -> %3lld\n",
                     name.c_str(), 100 * small.fraction,

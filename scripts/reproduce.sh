@@ -1,6 +1,11 @@
 #!/bin/sh
 # Build everything, run the full test suite, and regenerate every
 # table/figure of the paper plus the extension studies.
+#
+# Table/figure harnesses run their (app, scheme) grids in parallel;
+# output is byte-identical to a serial run. The job count defaults to
+# all hardware threads; override it with PSIM_JOBS=n or per-bench
+# with --jobs n.
 set -e
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja

@@ -12,8 +12,6 @@
 #ifndef PSIM_MEM_BUS_HH
 #define PSIM_MEM_BUS_HH
 
-#include <functional>
-
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/resource.hh"
@@ -33,7 +31,7 @@ class Bus
      * accounting).
      */
     void
-    transfer(bool data, std::function<void()> done)
+    transfer(bool data, EventQueue::Callback done)
     {
         // Arbitration is pipelined with the previous transfer, so the
         // bus is occupied for the transfer phase only, but each message

@@ -14,7 +14,6 @@
 #ifndef PSIM_NET_MESH_HH
 #define PSIM_NET_MESH_HH
 
-#include <functional>
 #include <vector>
 
 #include "sim/config.hh"
@@ -29,7 +28,8 @@ namespace psim
 class Mesh
 {
   public:
-    using DeliverFn = std::function<void()>;
+    /** Inline-stored delivery callback (no heap on the message path). */
+    using DeliverFn = EventQueue::Callback;
 
     Mesh(EventQueue &eq, const MachineConfig &cfg);
 

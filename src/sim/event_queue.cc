@@ -1,46 +1,213 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
+#include <bit>
 
 namespace psim
 {
 
-bool
-EventQueue::isCancelled(EventId id)
+namespace
 {
-    auto it = std::find(_cancelled.begin(), _cancelled.end(), id);
-    if (it == _cancelled.end())
+
+constexpr std::size_t kInitialPool = 1024;
+
+} // namespace
+
+EventQueue::EventQueue()
+{
+    _bucketHead.fill(kNil);
+    _bucketTail.fill(kNil);
+    _occupied.fill(0);
+    _pool.reserve(kInitialPool);
+    growPool();
+}
+
+void
+EventQueue::growPool()
+{
+    std::size_t old = _pool.size();
+    std::size_t grown = old ? old * 2 : kInitialPool;
+    psim_assert(grown < kNil, "event pool exceeded 2^32 slots");
+    _pool.resize(grown);
+    // Thread the new slots onto the free list in increasing order.
+    for (std::size_t s = grown; s-- > old;) {
+        _pool[s].next = _freeHead;
+        _freeHead = static_cast<std::uint32_t>(s);
+    }
+}
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (_freeHead == kNil)
+        growPool();
+    std::uint32_t slot = _freeHead;
+    _freeHead = _pool[slot].next;
+    return slot;
+}
+
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    Event &e = _pool[slot];
+    e.cb.reset();
+    e.live = false;
+    ++e.gen; // invalidate every outstanding EventId for this slot
+    e.next = _freeHead;
+    _freeHead = slot;
+}
+
+void
+EventQueue::wheelInsert(std::uint32_t slot, Tick when)
+{
+    std::uint32_t b = static_cast<std::uint32_t>(when) & kWheelMask;
+    if (_bucketTail[b] == kNil) {
+        _bucketHead[b] = slot;
+        _occupied[b >> 6] |= 1ULL << (b & 63);
+    } else {
+        _pool[_bucketTail[b]].next = slot;
+    }
+    _bucketTail[b] = slot;
+    ++_wheelCount;
+}
+
+void
+EventQueue::heapInsert(std::uint32_t slot, Tick when, std::uint64_t seq)
+{
+    _heap.push_back(HeapEntry{when, seq, slot});
+    std::push_heap(_heap.begin(), _heap.end());
+}
+
+std::uint32_t
+EventQueue::firstOccupiedBucket(std::uint32_t from) const
+{
+    // Scan the occupancy bitmap circularly starting at bit `from`.
+    std::uint32_t word = from >> 6;
+    std::uint64_t bits = _occupied[word] & (~0ULL << (from & 63));
+    for (std::size_t i = 0; i <= _occupied.size(); ++i) {
+        if (bits)
+            return static_cast<std::uint32_t>(
+                    (word << 6) + std::countr_zero(bits));
+        word = (word + 1) & (static_cast<std::uint32_t>(_occupied.size()) -
+                             1);
+        bits = _occupied[word];
+    }
+    return kNil;
+}
+
+bool
+EventQueue::peekNext(Next &n)
+{
+    // Candidate from the wheel: the first occupied bucket in circular
+    // order from now's position holds the minimal wheel tick (all wheel
+    // events lie in [now, now + kWheelSize)). Reclaim dead heads as we
+    // go; `when` is non-decreasing along a bucket chain, so a live head
+    // is the bucket minimum.
+    std::uint32_t wslot = kNil;
+    std::uint32_t wbucket = 0;
+    while (_wheelCount > 0) {
+        std::uint32_t b = firstOccupiedBucket(
+                static_cast<std::uint32_t>(_now) & kWheelMask);
+        psim_assert(b != kNil, "wheel count/bitmap out of sync");
+        std::uint32_t head = _bucketHead[b];
+        while (head != kNil && !_pool[head].live) {
+            std::uint32_t dead = head;
+            head = _pool[dead].next;
+            freeSlot(dead);
+            --_wheelCount;
+        }
+        _bucketHead[b] = head;
+        if (head == kNil) {
+            _bucketTail[b] = kNil;
+            _occupied[b >> 6] &= ~(1ULL << (b & 63));
+            continue;
+        }
+        wslot = head;
+        wbucket = b;
+        break;
+    }
+
+    // Candidate from the overflow heap, likewise reclaiming dead tops.
+    while (!_heap.empty() && !_pool[_heap.front().slot].live) {
+        std::uint32_t dead = _heap.front().slot;
+        std::pop_heap(_heap.begin(), _heap.end());
+        _heap.pop_back();
+        freeSlot(dead);
+    }
+
+    if (wslot == kNil && _heap.empty())
         return false;
-    _cancelled.erase(it);
+
+    if (wslot != kNil && !_heap.empty()) {
+        const Event &w = _pool[wslot];
+        const HeapEntry &h = _heap.front();
+        if (h.when < w.when || (h.when == w.when && h.seq < w.seq)) {
+            n = Next{h.slot, 0, false};
+            return true;
+        }
+    } else if (wslot == kNil) {
+        n = Next{_heap.front().slot, 0, false};
+        return true;
+    }
+    n = Next{wslot, wbucket, true};
     return true;
+}
+
+void
+EventQueue::removeNext(const Next &n)
+{
+    if (n.wheel) {
+        std::uint32_t b = n.bucket;
+        psim_assert(_bucketHead[b] == n.slot, "wheel cursor desynced");
+        _bucketHead[b] = _pool[n.slot].next;
+        if (_bucketHead[b] == kNil) {
+            _bucketTail[b] = kNil;
+            _occupied[b >> 6] &= ~(1ULL << (b & 63));
+        }
+        --_wheelCount;
+    } else {
+        psim_assert(!_heap.empty() && _heap.front().slot == n.slot,
+                "heap cursor desynced");
+        std::pop_heap(_heap.begin(), _heap.end());
+        _heap.pop_back();
+    }
+}
+
+void
+EventQueue::fire(const Next &n)
+{
+    removeNext(n);
+    Event &e = _pool[n.slot];
+    psim_assert(e.when >= _now, "event queue went backwards");
+    _now = e.when;
+    Callback cb = std::move(e.cb);
+    --_live;
+    // Free the slot before invoking so the callback can schedule into
+    // it; the generation bump keeps the old EventId stale.
+    freeSlot(n.slot);
+    cb();
 }
 
 bool
 EventQueue::runOne()
 {
-    while (!_heap.empty()) {
-        Entry e = _heap.top();
-        _heap.pop();
-        --_live;
-        if (isCancelled(e.id))
-            continue;
-        psim_assert(e.when >= _now, "event queue went backwards");
-        _now = e.when;
-        e.cb();
-        return true;
-    }
-    return false;
+    Next n;
+    if (!peekNext(n))
+        return false;
+    fire(n);
+    return true;
 }
 
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!_heap.empty()) {
-        if (_heap.top().when > limit) {
+    Next n;
+    while (peekNext(n)) {
+        if (_pool[n.slot].when > limit) {
             _now = limit;
             return _now;
         }
-        runOne();
+        fire(n);
     }
     return _now;
 }
@@ -48,11 +215,23 @@ EventQueue::run(Tick limit)
 void
 EventQueue::reset()
 {
-    _heap = {};
-    _cancelled.clear();
+    for (std::size_t s = 0; s < _pool.size(); ++s) {
+        Event &e = _pool[s];
+        e.cb.reset();
+        e.live = false;
+        ++e.gen;
+        e.next = s + 1 < _pool.size()
+                ? static_cast<std::uint32_t>(s + 1) : kNil;
+    }
+    _freeHead = _pool.empty() ? kNil : 0;
+    _bucketHead.fill(kNil);
+    _bucketTail.fill(kNil);
+    _occupied.fill(0);
+    _wheelCount = 0;
+    _heap.clear();
     _live = 0;
     _now = 0;
-    _nextId = 1;
+    _nextSeq = 1;
 }
 
 } // namespace psim

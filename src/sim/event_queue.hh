@@ -5,16 +5,29 @@
  * The whole machine is driven by a single event queue: components
  * schedule callbacks at absolute ticks, and ties are broken by insertion
  * order so that simulation is fully deterministic.
+ *
+ * The engine is allocation-free in steady state:
+ *
+ *  - Events live in a preallocated, free-listed pool; an EventId packs
+ *    (slot, generation) so cancel() is an O(1) generation check instead
+ *    of the old lazy-delete list with its O(n) scan per pop.
+ *  - Callbacks are stored inline (InlineCallback) with no heap
+ *    fallback; an oversized capture list is a compile error.
+ *  - Short-delay schedules — the overwhelmingly common case (cache,
+ *    bus, mesh and CPU latencies are tens of ticks) — go into a
+ *    256-bucket time wheel whose occupied buckets are tracked in a
+ *    bitmap; only schedules ≥ 256 ticks out touch the overflow binary
+ *    heap.
  */
 
 #ifndef PSIM_SIM_EVENT_QUEUE_HH
 #define PSIM_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -24,12 +37,19 @@ namespace psim
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Inline storage must hold the largest hot-path capture list:
+     * [this, Message, bool] on the protocol send path is 56 bytes.
+     */
+    static constexpr std::size_t kCallbackCapacity = 64;
+
+    using Callback = InlineCallback<kCallbackCapacity>;
 
     /** Opaque handle for cancelling a scheduled event. */
     using EventId = std::uint64_t;
 
-    EventQueue() = default;
+    EventQueue();
+    ~EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -47,10 +67,19 @@ class EventQueue
         psim_assert(when >= _now,
                 "schedule in the past: when=%llu now=%llu",
                 (unsigned long long)when, (unsigned long long)_now);
-        EventId id = _nextId++;
-        _heap.push(Entry{when, id, std::move(cb), false});
+        std::uint32_t slot = allocSlot();
+        Event &e = _pool[slot];
+        e.when = when;
+        e.seq = _nextSeq++;
+        e.cb = std::move(cb);
+        e.next = kNil;
+        e.live = true;
+        if (when - _now < kWheelSize)
+            wheelInsert(slot, when);
+        else
+            heapInsert(slot, when, e.seq);
         ++_live;
-        return id;
+        return makeId(e.gen, slot);
     }
 
     /** Schedule @p cb @p delta ticks from now. */
@@ -61,13 +90,25 @@ class EventQueue
     }
 
     /**
-     * Cancel a previously scheduled event. Cancelling an event that has
-     * already fired is a no-op (lazily deleted).
+     * Cancel a previously scheduled event in O(1). Cancelling an event
+     * that has already fired (or been cancelled) is a no-op: the
+     * generation check rejects the stale handle without accumulating
+     * any per-cancel state.
      */
     void
     cancel(EventId id)
     {
-        _cancelled.push_back(id);
+        std::uint32_t slot = slotOf(id);
+        if (slot >= _pool.size())
+            return;
+        Event &e = _pool[slot];
+        if (e.gen != genOf(id) || !e.live)
+            return;
+        e.live = false;
+        e.cb.reset();
+        --_live;
+        // The slot stays linked in its wheel bucket / heap entry and is
+        // reclaimed when the cursor reaches it.
     }
 
     /** True when no live events remain. */
@@ -91,32 +132,99 @@ class EventQueue
     void reset();
 
   private:
-    struct Entry
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+    static constexpr std::uint32_t kWheelBits = 8;
+    static constexpr std::uint32_t kWheelSize = 1u << kWheelBits;
+    static constexpr std::uint32_t kWheelMask = kWheelSize - 1;
+
+    struct Event
     {
-        Tick when;
-        EventId id;
+        Tick when = 0;
+        std::uint64_t seq = 0;
         Callback cb;
-        bool dead;
+        std::uint32_t gen = 1;  ///< bumped on free; stale ids mismatch
+        std::uint32_t next = kNil; ///< bucket chain or free list
+        bool live = false;
     };
 
-    struct Later
+    /** Overflow heap entry for schedules beyond the wheel horizon. */
+    struct HeapEntry
     {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator<(const HeapEntry &o) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.id > b.id;
+            // std::push_heap builds a max-heap; invert for earliest-first.
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
         }
     };
 
-    bool isCancelled(EventId id);
+    /** Where peekNext() found the next live event. */
+    struct Next
+    {
+        std::uint32_t slot;
+        std::uint32_t bucket; ///< valid when wheel
+        bool wheel;
+    };
+
+    static EventId
+    makeId(std::uint32_t gen, std::uint32_t slot)
+    {
+        return (static_cast<EventId>(gen) << 32) | slot;
+    }
+
+    static std::uint32_t slotOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id);
+    }
+
+    static std::uint32_t genOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t slot);
+    void growPool();
+
+    void wheelInsert(std::uint32_t slot, Tick when);
+    void heapInsert(std::uint32_t slot, Tick when, std::uint64_t seq);
+
+    /** First occupied bucket at circular distance >= 0 from @p from. */
+    std::uint32_t firstOccupiedBucket(std::uint32_t from) const;
+
+    /**
+     * Reclaim dead events at the container fronts and locate the next
+     * live event without removing it. @return false when drained.
+     */
+    bool peekNext(Next &n);
+
+    /** Remove the event found by peekNext() from its container. */
+    void removeNext(const Next &n);
+
+    /** Pop, free and invoke the (live) event found by peekNext(). */
+    void fire(const Next &n);
 
     Tick _now = 0;
-    EventId _nextId = 1;
+    std::uint64_t _nextSeq = 1;
     std::size_t _live = 0;
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
-    std::vector<EventId> _cancelled;
+
+    std::vector<Event> _pool;
+    std::uint32_t _freeHead = kNil;
+
+    // Two-level front: time wheel for [now, now + kWheelSize) ...
+    std::array<std::uint32_t, kWheelSize> _bucketHead;
+    std::array<std::uint32_t, kWheelSize> _bucketTail;
+    std::array<std::uint64_t, kWheelSize / 64> _occupied;
+    std::size_t _wheelCount = 0;
+
+    // ... and a binary min-heap for everything farther out.
+    std::vector<HeapEntry> _heap;
 };
 
 } // namespace psim

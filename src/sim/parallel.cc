@@ -1,0 +1,113 @@
+#include "sim/parallel.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace psim
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = 1;
+    _threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        _threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(_mx);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (auto &t : _threads)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lk(_mx);
+        psim_assert(!_stop, "submit to a stopped thread pool");
+        _queue.push_back(std::move(job));
+        ++_inflight;
+    }
+    _wake.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(_mx);
+    _drained.wait(lk, [this] { return _inflight == 0; });
+    if (_error) {
+        std::exception_ptr e = _error;
+        _error = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(_mx);
+    for (;;) {
+        _wake.wait(lk, [this] { return _stop || !_queue.empty(); });
+        if (_queue.empty())
+            return; // stopping and drained
+        std::function<void()> job = std::move(_queue.front());
+        _queue.pop_front();
+        lk.unlock();
+        std::exception_ptr err;
+        try {
+            job();
+        } catch (...) {
+            err = std::current_exception();
+        }
+        lk.lock();
+        if (err && !_error)
+            _error = err;
+        if (--_inflight == 0)
+            _drained.notify_all();
+    }
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("PSIM_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+        psim_warn("ignoring invalid PSIM_JOBS='%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+runGrid(std::size_t n, unsigned jobs,
+        const std::function<void(std::size_t)> &fn)
+{
+    if (jobs > n)
+        jobs = static_cast<unsigned>(n);
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace psim
