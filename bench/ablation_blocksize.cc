@@ -52,11 +52,11 @@ main(int argc, char **argv)
         for (std::size_t b = 0; b < blocks.size(); ++b) {
             const RunMetrics &base = results[w * per_app + b * 2];
             const RunMetrics &seq = results[w * per_app + b * 2 + 1];
-            std::printf("%-10s %5uB %14.0f %14.0f %14.2f %14.2f\n",
+            std::printf("%-10s %5uB %14.0f %14.0f %14.2f %s\n",
                         name.c_str(), blocks[b], base.readMisses,
                         seq.readMisses,
                         seq.readMisses / base.readMisses,
-                        seq.prefetchEfficiency());
+                        fmtEff(seq.prefetchEfficiency(), 14).c_str());
         }
         hr(92);
     }

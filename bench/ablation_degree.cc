@@ -62,13 +62,13 @@ main(int argc, char **argv)
             for (std::size_t di = 0; di < degrees.size(); ++di) {
                 const RunMetrics &run = results[w * per_app + 1 +
                                                 s * degrees.size() + di];
-                std::printf("%-8s %-7s %4u %14.2f %14.2f %10.2f "
+                std::printf("%-8s %-7s %4u %14.2f %14.2f %s "
                             "%12.2f\n",
                             name.c_str(), toString(schemes[s]),
                             degrees[di],
                             run.readMisses / base.readMisses,
                             run.readStall / base.readStall,
-                            run.prefetchEfficiency(),
+                            fmtEff(run.prefetchEfficiency(), 10).c_str(),
                             run.flits / base.flits);
             }
         }

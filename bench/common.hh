@@ -11,6 +11,7 @@
 #ifndef PSIM_BENCH_COMMON_HH
 #define PSIM_BENCH_COMMON_HH
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -129,6 +130,12 @@ class JsonWriter
     field(const std::string &key, double v)
     {
         comma();
+        if (std::isnan(v)) {
+            // JSON has no NaN; an absent value (prefetch efficiency of
+            // a run that issued no prefetches) becomes null.
+            _out += '"' + key + "\":null";
+            return;
+        }
         char buf[40];
         std::snprintf(buf, sizeof(buf), "%.17g", v);
         _out += '"' + key + "\":" + buf;
@@ -185,6 +192,25 @@ runChecked(const std::string &name, const MachineConfig &cfg,
     if (!run.verified)
         psim_fatal("%s failed numerical verification", name.c_str());
     return run;
+}
+
+/**
+ * Format a prefetch efficiency for a table cell: "0.63"-style, or an
+ * em dash when the run issued no prefetches (efficiency is NaN).
+ */
+inline std::string
+fmtEff(double eff, int width = 0)
+{
+    char buf[32];
+    if (std::isnan(eff)) {
+        // The em dash is 3 UTF-8 bytes but one display column; widen
+        // the field so printf's byte-counting padding still lines up.
+        std::snprintf(buf, sizeof(buf), "%*s", width ? width + 2 : 0,
+                      "—");
+    } else {
+        std::snprintf(buf, sizeof(buf), "%*.2f", width, eff);
+    }
+    return buf;
 }
 
 /** Format the dominant strides like the paper: "1(93%), 65(42%)". */

@@ -37,11 +37,12 @@ main()
         apps::Run base = runChecked(name, paperConfig());
         for (PrefetchScheme scheme : schemes) {
             apps::Run run = runChecked(name, paperConfig(scheme));
-            std::printf("%-10s %-9s %12.2f %12.2f %10.2f %12.2f\n",
+            std::printf("%-10s %-9s %12.2f %12.2f %s %12.2f\n",
                         name.c_str(), toString(scheme),
                         run.metrics.readMisses / base.metrics.readMisses,
                         run.metrics.readStall / base.metrics.readStall,
-                        run.metrics.prefetchEfficiency(),
+                        fmtEff(run.metrics.prefetchEfficiency(),
+                               10).c_str(),
                         run.metrics.flits / base.metrics.flits);
         }
         hr(92);

@@ -31,22 +31,23 @@ main()
         apps::Run base = runChecked(name, paperConfig());
 
         apps::Run idet = runChecked(name, paperConfig(PrefetchScheme::IDet));
-        std::printf("%-10s %-10s %4s %12.2f %12.2f %10.2f %12.2f\n",
+        std::printf("%-10s %-10s %4s %12.2f %12.2f %s %12.2f\n",
                     name.c_str(), "i-det", "-",
                     idet.metrics.readMisses / base.metrics.readMisses,
                     idet.metrics.readStall / base.metrics.readStall,
-                    idet.metrics.prefetchEfficiency(),
+                    fmtEff(idet.metrics.prefetchEfficiency(), 10).c_str(),
                     idet.metrics.flits / base.metrics.flits);
 
         for (unsigned la : {1u, 2u, 4u}) {
             MachineConfig cfg = paperConfig(PrefetchScheme::IDetLookahead);
             cfg.prefetch.lookaheadStrides = la;
             apps::Run run = runChecked(name, cfg);
-            std::printf("%-10s %-10s %4u %12.2f %12.2f %10.2f %12.2f\n",
+            std::printf("%-10s %-10s %4u %12.2f %12.2f %s %12.2f\n",
                         name.c_str(), "i-det-la", la,
                         run.metrics.readMisses / base.metrics.readMisses,
                         run.metrics.readStall / base.metrics.readStall,
-                        run.metrics.prefetchEfficiency(),
+                        fmtEff(run.metrics.prefetchEfficiency(),
+                               10).c_str(),
                         run.metrics.flits / base.metrics.flits);
         }
         hr(92);

@@ -22,6 +22,7 @@
  */
 
 #include <chrono>
+#include <limits>
 #include <map>
 
 #include "common.hh"
@@ -36,7 +37,7 @@ struct Cell
 {
     double misses = 0;
     double stall = 0;
-    double eff = 1.0;
+    double eff = std::numeric_limits<double>::quiet_NaN();
     double flits = 0;
     Tick exec = 0;
 };
@@ -116,11 +117,7 @@ main(int argc, char **argv)
           });
 
     panel("(middle) prefetch efficiency (useful / issued prefetches)",
-          [](const Cell &c, const Cell &) {
-              char buf[32];
-              std::snprintf(buf, sizeof(buf), "%.2f", c.eff);
-              return std::string(buf);
-          });
+          [](const Cell &c, const Cell &) { return fmtEff(c.eff); });
 
     panel("(bottom) read stall time relative to the baseline",
           [](const Cell &c, const Cell &base) {

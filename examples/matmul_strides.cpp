@@ -12,11 +12,25 @@
  * on it.
  */
 
+#include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "apps/driver.hh"
 
 using namespace psim;
+
+/** "0.63"-style efficiency, or "—" when no prefetches were issued. */
+static std::string
+fmtEff(double eff, int width)
+{
+    char buf[32];
+    if (std::isnan(eff)) // the em dash is 3 bytes, 1 display column
+        std::snprintf(buf, sizeof(buf), "%*s", width + 2, "—");
+    else
+        std::snprintf(buf, sizeof(buf), "%*.2f", width, eff);
+    return buf;
+}
 
 int
 main()
@@ -68,10 +82,10 @@ main()
             base_misses = run.metrics.readMisses;
             base_stall = run.metrics.readStall;
         }
-        std::printf("%-10s %11.0f%% %11.0f%% %10.2f\n", scheme,
+        std::printf("%-10s %11.0f%% %11.0f%% %s\n", scheme,
                     100.0 * run.metrics.readMisses / base_misses,
                     100.0 * run.metrics.readStall / base_stall,
-                    run.metrics.prefetchEfficiency());
+                    fmtEff(run.metrics.prefetchEfficiency(), 10).c_str());
     }
     std::printf("\nA row of A spans consecutive blocks (sequential "
                 "prefetching covers it);\na column of B strides one row "

@@ -6,12 +6,25 @@
  * Usage: quickstart [workload] [scale]
  */
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "apps/driver.hh"
 
 using namespace psim;
+
+/** "0.63"-style efficiency, or "—" when no prefetches were issued. */
+static std::string
+fmtEff(double eff, int width)
+{
+    char buf[32];
+    if (std::isnan(eff)) // the em dash is 3 bytes, 1 display column
+        std::snprintf(buf, sizeof(buf), "%*s", width + 2, "—");
+    else
+        std::snprintf(buf, sizeof(buf), "%*.2f", width, eff);
+    return buf;
+}
 
 int
 main(int argc, char **argv)
@@ -47,12 +60,13 @@ main(int argc, char **argv)
             base_stall = mx.readStall;
         }
         std::printf("%-10s %8.0f (%3.0f%%) %6.0f (%3.0f%%) %12llu "
-                    "%9.2f %12.0f\n",
+                    "%s %12.0f\n",
                     scheme, mx.readMisses,
                     100.0 * mx.readMisses / base_misses, mx.readStall,
                     100.0 * mx.readStall / base_stall,
                     static_cast<unsigned long long>(mx.execTicks),
-                    mx.prefetchEfficiency(), mx.flits);
+                    fmtEff(mx.prefetchEfficiency(), 9).c_str(),
+                    mx.flits);
     }
     std::printf("\nall runs verified against the native reference.\n");
     return 0;

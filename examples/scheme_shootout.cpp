@@ -10,6 +10,7 @@
  * {infinite, 16 KB} and prints a comparison grid.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,6 +18,18 @@
 #include "apps/driver.hh"
 
 using namespace psim;
+
+/** "0.63"-style efficiency, or "—" when no prefetches were issued. */
+static std::string
+fmtEff(double eff, int width)
+{
+    char buf[32];
+    if (std::isnan(eff)) // the em dash is 3 bytes, 1 display column
+        std::snprintf(buf, sizeof(buf), "%*s", width + 2, "—");
+    else
+        std::snprintf(buf, sizeof(buf), "%*.2f", width, eff);
+    return buf;
+}
 
 int
 main(int argc, char **argv)
@@ -47,12 +60,13 @@ main(int argc, char **argv)
                                 slc ? "16KB" : "inf");
                     return 1;
                 }
-                std::printf("%-9s %4u %9s | %12.0f %12.0f %10.2f "
+                std::printf("%-9s %4u %9s | %12.0f %12.0f %s "
                             "%12.0f %12llu\n",
                             scheme, d, slc ? "16KB" : "inf",
                             run.metrics.readMisses,
                             run.metrics.readStall,
-                            run.metrics.prefetchEfficiency(),
+                            fmtEff(run.metrics.prefetchEfficiency(),
+                                   10).c_str(),
                             run.metrics.flits,
                             static_cast<unsigned long long>(
                                     run.metrics.execTicks));

@@ -58,12 +58,13 @@ class AdaptiveSequentialPrefetcher : public Prefetcher
                 return;
         }
         Addr blk = alignDown(obs.addr, _blockSize);
+        std::int64_t bs = static_cast<std::int64_t>(_blockSize);
         if (!obs.hit) {
             for (unsigned k = 1; k <= _degree; ++k)
-                out.push_back(blk + static_cast<Addr>(k) * _blockSize);
+                pushCandidate(blk, static_cast<std::int64_t>(k) * bs, out);
         } else if (obs.taggedHit) {
-            out.push_back(blk +
-                          static_cast<Addr>(_degree) * _blockSize);
+            pushCandidate(blk, static_cast<std::int64_t>(_degree) * bs,
+                          out);
         }
     }
 
@@ -97,6 +98,8 @@ class AdaptiveSequentialPrefetcher : public Prefetcher
         _usefulInWindow = 0;
         _lateInWindow = 0;
     }
+
+    bool wantsOutcomeFeedback() const override { return true; }
 
     const char *name() const override { return "adaptive"; }
 

@@ -109,12 +109,8 @@ DDetPrefetcher::emitStart(Addr base, std::int64_t stride,
     std::int64_t sblk = stride / bs;
     if (sblk == 0)
         sblk = stride > 0 ? 1 : -1;
-    for (unsigned k = 1; k <= _degree; ++k) {
-        std::int64_t target = static_cast<std::int64_t>(base) +
-                              sblk * bs * static_cast<std::int64_t>(k);
-        if (target >= 0)
-            out.push_back(static_cast<Addr>(target));
-    }
+    for (unsigned k = 1; k <= _degree; ++k)
+        pushCandidate(base, sblk * bs * static_cast<std::int64_t>(k), out);
 }
 
 void
@@ -133,10 +129,9 @@ DDetPrefetcher::observeRead(const ReadObservation &obs,
             std::int64_t sblk = s->stride / bs;
             if (sblk == 0)
                 sblk = s->stride > 0 ? 1 : -1;
-            std::int64_t target = static_cast<std::int64_t>(obs.addr) +
-                    sblk * bs * static_cast<std::int64_t>(_degree);
-            if (target >= 0)
-                out.push_back(static_cast<Addr>(target));
+            pushCandidate(obs.addr,
+                          sblk * bs * static_cast<std::int64_t>(_degree),
+                          out);
         }
         return;
     }

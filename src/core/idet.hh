@@ -70,14 +70,6 @@ class IDetPrefetcher : public Prefetcher
         return blocks * bs;
     }
 
-    static void
-    pushCandidate(Addr base, std::int64_t offset, std::vector<Addr> &out)
-    {
-        std::int64_t target = static_cast<std::int64_t>(base) + offset;
-        if (target >= 0)
-            out.push_back(static_cast<Addr>(target));
-    }
-
     Rpt _rpt;
     unsigned _degree;
     unsigned _blockSize;

@@ -56,11 +56,9 @@ class IDetLookaheadPrefetcher : public Prefetcher
         std::int64_t sblk = oc.stride / bs;
         if (sblk == 0)
             sblk = oc.stride > 0 ? 1 : -1;
-        std::int64_t target =
-                static_cast<std::int64_t>(obs.addr) +
-                sblk * bs * static_cast<std::int64_t>(_lookahead);
-        if (target >= 0)
-            out.push_back(static_cast<Addr>(target));
+        pushCandidate(obs.addr,
+                      sblk * bs * static_cast<std::int64_t>(_lookahead),
+                      out);
     }
 
     const char *name() const override { return "i-det-la"; }

@@ -18,10 +18,13 @@
 #ifndef PSIM_CORE_PREFETCHER_HH
 #define PSIM_CORE_PREFETCHER_HH
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "sim/config.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace psim
@@ -64,11 +67,50 @@ class Prefetcher
         (void)late;
     }
 
+    /**
+     * Does this scheme consume notePrefetchOutcome()? The cache only
+     * maintains the prefetch-aging ring (and its aged-unused verdicts)
+     * for schemes that do; for the fixed schemes the ring would change
+     * the accounting without ever changing behaviour.
+     */
+    virtual bool wantsOutcomeFeedback() const { return false; }
+
     /** Scheme name as used in the paper's figures. */
     virtual const char *name() const = 0;
 
+    /** Candidates dropped because base + offset left the address space. */
+    stats::Scalar candidatesWrapped;
+
     /** Build the scheme selected by @p cfg.prefetch (never null). */
     static std::unique_ptr<Prefetcher> create(const MachineConfig &cfg);
+
+  protected:
+    /**
+     * Append base + offset to @p out unless the sum wraps the address
+     * space. Down-strides below zero and up-strides past the top of the
+     * 64-bit space would alias an unrelated (usually very small or very
+     * large) address; such candidates are dropped and counted.
+     */
+    void
+    pushCandidate(Addr base, std::int64_t offset, std::vector<Addr> &out)
+    {
+        if (offset >= 0) {
+            Addr off = static_cast<Addr>(offset);
+            if (base > std::numeric_limits<Addr>::max() - off) {
+                ++candidatesWrapped;
+                return;
+            }
+            out.push_back(base + off);
+        } else {
+            // -(offset + 1) + 1 avoids negating INT64_MIN.
+            Addr mag = static_cast<Addr>(-(offset + 1)) + 1;
+            if (mag > base) {
+                ++candidatesWrapped;
+                return;
+            }
+            out.push_back(base - mag);
+        }
+    }
 };
 
 /** The baseline architecture: no prefetching. */

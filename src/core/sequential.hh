@@ -33,11 +33,13 @@ class SequentialPrefetcher : public Prefetcher
     observeRead(const ReadObservation &obs, std::vector<Addr> &out) override
     {
         Addr blk = alignDown(obs.addr, _blockSize);
+        std::int64_t bs = static_cast<std::int64_t>(_blockSize);
         if (!obs.hit) {
             for (unsigned k = 1; k <= _degree; ++k)
-                out.push_back(blk + static_cast<Addr>(k) * _blockSize);
+                pushCandidate(blk, static_cast<std::int64_t>(k) * bs, out);
         } else if (obs.taggedHit) {
-            out.push_back(blk + static_cast<Addr>(_degree) * _blockSize);
+            pushCandidate(blk, static_cast<std::int64_t>(_degree) * bs,
+                          out);
         }
     }
 

@@ -18,6 +18,45 @@ MemCtrl::MemCtrl(Machine &m, NodeId id)
           reply(MsgType::BarrierGo, dst, addr, 0);
       })
 {
+    _audit = m.auditor();
+    _locks.setAudit(_audit);
+}
+
+void
+MemCtrl::auditCheckEntry(const DirEntry &ent, const Message &m) const
+{
+    auto bad = [&](const char *what) {
+        psim_panic("home %u audit: directory entry for %#llx %s "
+                   "(st %u presence %#llx owner %u busy %u acks %u "
+                   "fetchFrom %u, on %s from %u)",
+                   _id, (unsigned long long)m.addr, what,
+                   (unsigned)ent.st, (unsigned long long)ent.presence,
+                   ent.owner, (unsigned)ent.busy, ent.pendingAcks,
+                   ent.fetchFrom, toString(m.type), m.src);
+    };
+    switch (ent.st) {
+      case DirEntry::St::Uncached:
+        if (ent.presence != 0 || ent.owner != kNodeNone)
+            bad("uncached with sharers or an owner");
+        break;
+      case DirEntry::St::Clean:
+        if (ent.owner != kNodeNone)
+            bad("clean but has an owner");
+        break;
+      case DirEntry::St::Dirty:
+        if (ent.owner == kNodeNone || ent.presence != 0)
+            bad("dirty without a sole owner");
+        if (ent.owner >= _m.cfg().numProcs)
+            bad("owned by a node outside the machine");
+        break;
+    }
+    if (_m.cfg().numProcs < 64 &&
+        (ent.presence >> _m.cfg().numProcs) != 0)
+        bad("has presence bits for nodes outside the machine");
+    if (ent.busy && ent.pendingAcks == 0 && ent.fetchFrom == kNodeNone)
+        bad("busy with neither pending acks nor an outstanding fetch");
+    if (!ent.busy && (ent.pendingAcks != 0 || ent.fetchFrom != kNodeNone))
+        bad("idle but has a pending ack round or fetch");
 }
 
 bool
@@ -139,6 +178,8 @@ MemCtrl::handleCoherent(const Message &m)
             "message for %llx reached wrong home %u",
             (unsigned long long)m.addr, _id);
     DirEntry &ent = _dir[m.addr];
+    if (_audit)
+        auditCheckEntry(ent, m);
 
     switch (m.type) {
       case MsgType::ReadReq:

@@ -52,7 +52,9 @@ class MemCtrl
     bool isMigratory(Addr blk_addr) const;
 
     LockCtrl &locks() { return _locks; }
+    const LockCtrl &locks() const { return _locks; }
     BarrierCtrl &barrier() { return _barrier; }
+    const BarrierCtrl &barrier() const { return _barrier; }
 
     stats::Scalar readReqs;
     stats::Scalar readExReqs;
@@ -92,6 +94,14 @@ class MemCtrl
     /** Claim the memory bank, then run the directory operation. */
     void process(const Message &m);
 
+    /**
+     * Audit cross-check: directory-entry state must be internally
+     * consistent before every operation on it (Dirty entries have an
+     * owner and no presence bits, Clean entries the reverse, busy
+     * entries an outstanding fetch or invalidation round).
+     */
+    void auditCheckEntry(const DirEntry &ent, const Message &m) const;
+
     void handleCoherent(const Message &m);
     void startOp(DirEntry &ent, const Message &m);
     void startReadEx(DirEntry &ent, const Message &m, bool as_upgrade);
@@ -118,6 +128,7 @@ class MemCtrl
 
     Machine &_m;
     NodeId _id;
+    audit::MachineAudit *_audit = nullptr; ///< null when auditing is off
     Resource _bank;
     LockCtrl _locks;
     BarrierCtrl _barrier;

@@ -1,5 +1,7 @@
 #include "mem/slc.hh"
 
+#include <limits>
+
 #include "mem/flc.hh"
 #include "sim/logging.hh"
 #include "sys/cpu.hh"
@@ -17,6 +19,8 @@ Slc::Slc(Machine &m, NodeId id, Flc &flc, Cpu &cpu)
       _prefetcher(Prefetcher::create(m.cfg())),
       _slwbCap(m.cfg().slwbEntries)
 {
+    if (audit::MachineAudit *a = m.auditor())
+        _audit = &a->node(id);
 }
 
 Slc::Mshr *
@@ -24,6 +28,24 @@ Slc::findMshr(Addr blk_addr)
 {
     auto it = _mshrs.find(blk_addr);
     return it == _mshrs.end() ? nullptr : &it->second;
+}
+
+std::size_t
+Slc::slwbOccupancy() const
+{
+    std::size_t n = 0;
+    for (const auto &[addr, e] : _mshrs) {
+        if (!(e.kind == Mshr::Kind::Write && e.upgrade))
+            ++n;
+    }
+    return n;
+}
+
+bool
+Slc::slwbHasRoom(bool demand) const
+{
+    std::size_t occ = slwbOccupancy();
+    return demand ? occ < _slwbCap : occ + 1 < _slwbCap;
 }
 
 bool
@@ -41,8 +63,10 @@ Slc::usefulPrefetches() const
 double
 Slc::prefetchEfficiency() const
 {
+    // No prefetches means no efficiency to report, not a perfect one;
+    // renderers print "--" for the NaN.
     if (pfIssued.value() == 0)
-        return 1.0;
+        return std::numeric_limits<double>::quiet_NaN();
     return usefulPrefetches() / pfIssued.value();
 }
 
@@ -81,7 +105,7 @@ Slc::tryAccept(const FlwbEntry &e)
         // Admission: the access needs a free SLWB slot unless it hits in
         // the cache or merges with a pending transaction for its block.
         Addr blk = cfg.blockAddr(e.addr);
-        if (!_array.find(blk) && !findMshr(blk) && mshrFull())
+        if (!_array.find(blk) && !findMshr(blk) && !slwbHasRoom(true))
             return false;
         Tick start = _tagPort.claim(now, cfg.slcAccessLat);
         Addr addr = e.addr;
@@ -143,6 +167,10 @@ Slc::processRead(Addr addr, Pc pc)
             tagged = true;
             ++pfUsefulTagged;
             reportOutcome(blk, true);
+            if (_audit) {
+                _audit->onFate(blk_addr, audit::Fate::UsefulTagged,
+                        audit::Event::TaggedReadHit, now);
+            }
         }
         _array.touch(blk, now);
         _m.eq().scheduleIn(cfg.slcToCpuLat,
@@ -159,6 +187,10 @@ Slc::processRead(Addr addr, Pc pc)
                 _prefetcher->notePrefetchOutcome(true, true);
                 e->demandWaiting = true;
                 e->demandAddr = addr;
+                if (_audit) {
+                    _audit->onFate(blk_addr, audit::Fate::UsefulLate,
+                            audit::Event::DemandMerge, now);
+                }
                 break;
               case Mshr::Kind::Write:
                 e->demandWaiting = true;
@@ -179,6 +211,10 @@ Slc::processRead(Addr addr, Pc pc)
             fresh.demandAddr = addr;
             fresh.demandWaiting = true;
             _mshrs.emplace(blk_addr, fresh);
+            if (_audit) {
+                _audit->checkSlwb(slwbOccupancy(), _slwbCap, false,
+                        "demand read allocation");
+            }
             sendToHome(MsgType::ReadReq, blk_addr, pc, false);
         }
     }
@@ -220,6 +256,10 @@ Slc::processWrite(Addr addr, Pc pc)
             blk->prefetched = false;
             ++pfWriteHitTagged;
             reportOutcome(blk, true);
+            if (_audit) {
+                _audit->onFate(blk_addr, audit::Fate::WriteHit,
+                        audit::Event::TaggedWriteHit, now);
+            }
         }
         _array.touch(blk, now);
         if (blk->state == CohState::Modified) {
@@ -266,6 +306,10 @@ Slc::processWrite(Addr addr, Pc pc)
     e.upgrade = false;
     e.pendingStores = 1;
     _mshrs.emplace(blk_addr, e);
+    if (_audit) {
+        _audit->checkSlwb(slwbOccupancy(), _slwbCap, false,
+                "write-miss allocation");
+    }
     sendToHome(MsgType::ReadExReq, blk_addr, pc, false);
 }
 
@@ -294,8 +338,8 @@ Slc::maybePrefetch(Addr trigger_addr, Pc pc,
             ++pfDropPending;
             continue;
         }
-        if (_mshrs.size() + 1 >= _slwbCap) {
-            // Keep the last SLWB slot free for demand accesses.
+        if (!slwbHasRoom(false)) {
+            // The reserve rule: keep the last free slot for demand.
             ++pfDropNoSlot;
             continue;
         }
@@ -305,7 +349,16 @@ Slc::maybePrefetch(Addr trigger_addr, Pc pc,
         e.pc = pc;
         _mshrs.emplace(blk, e);
         ++pfIssued;
-        _recentPrefetches.push_back(blk);
+        if (_audit) {
+            _audit->onIssue(blk, pc, _m.eq().now());
+            _audit->checkSlwb(slwbOccupancy(), _slwbCap, true,
+                    "prefetch allocation");
+        }
+        // The aging ring exists to feed outcome information back to
+        // schemes that consume it; maintaining it for the others would
+        // only change their accounting, never their behaviour.
+        if (_prefetcher->wantsOutcomeFeedback())
+            _recentPrefetches.push_back(blk);
         sendToHome(MsgType::ReadReq, blk, pc, true);
     }
     agePrefetches();
@@ -324,16 +377,24 @@ void
 Slc::agePrefetches()
 {
     // Bounded-delay negative feedback: once a prefetched block is 64
-    // issues old and still untouched, tell the prefetcher it was
-    // useless so adaptive schemes can throttle. The block itself stays
-    // tagged (the miss-count statistics are unaffected).
+    // issues old and still untouched, it is counted useless and the
+    // prefetcher told so adaptive schemes can throttle. Clearing the
+    // tag seals the verdict -- a later demand access is an ordinary
+    // hit, not a second (contradictory) outcome for the same prefetch.
     constexpr std::size_t kRingCap = 64;
     while (_recentPrefetches.size() > kRingCap) {
         Addr a = _recentPrefetches.front();
         _recentPrefetches.pop_front();
         CacheBlk *blk = _array.find(a);
-        if (blk && blk->prefetched)
+        if (blk && blk->prefetched) {
+            blk->prefetched = false;
+            ++pfAgedUnused;
             reportOutcome(blk, false);
+            if (_audit) {
+                _audit->onFate(a, audit::Fate::AgedUnused,
+                        audit::Event::AgedOut, _m.eq().now());
+            }
+        }
     }
 }
 
@@ -360,6 +421,14 @@ Slc::invalidateBlock(CacheBlk *blk, bool replacement)
         else
             ++pfUselessInvalidated;
         reportOutcome(blk, false);
+        if (_audit) {
+            _audit->onFate(blk->addr,
+                    replacement ? audit::Fate::Replaced
+                                : audit::Fate::Invalidated,
+                    replacement ? audit::Event::Replaced
+                                : audit::Event::Invalidated,
+                    _m.eq().now());
+        }
     }
     _history[blk->addr] = replacement ? Gone::Replaced : Gone::Invalidated;
     _flc.invalidate(blk->addr);
@@ -396,22 +465,34 @@ Slc::handleFill(const Message &m, bool exclusive)
     Addr blk_addr = m.addr;
 
     Mshr *e = findMshr(blk_addr);
-    psim_assert(e, "node %u: unsolicited fill for %llx", _id,
-            (unsigned long long)blk_addr);
-    psim_assert(!_array.find(blk_addr),
-            "node %u: fill for resident block %llx", _id,
-            (unsigned long long)blk_addr);
+    if (!e) {
+        if (_audit)
+            _audit->fail(blk_addr, "unsolicited fill");
+        psim_panic("node %u: unsolicited fill for %llx", _id,
+                (unsigned long long)blk_addr);
+    }
+    if (_array.find(blk_addr)) {
+        if (_audit)
+            _audit->fail(blk_addr, "fill for a resident block");
+        psim_panic("node %u: fill for resident block %llx", _id,
+                (unsigned long long)blk_addr);
+    }
 
     makeRoom(blk_addr);
     CacheBlk *frame = _array.findVictim(blk_addr);
     _array.fill(frame, blk_addr, exclusive ? CohState::Modified
                                            : CohState::Shared, now);
     _history.erase(blk_addr);
+    if (_audit)
+        _audit->onEvent(blk_addr, audit::Event::Fill, now);
 
     bool is_pure_prefetch =
             e->kind == Mshr::Kind::Prefetch && !e->demandWaiting;
-    if (is_pure_prefetch)
+    if (is_pure_prefetch) {
+        if (_audit)
+            _audit->checkTaggedFill(blk_addr);
         frame->prefetched = true;
+    }
 
     if (e->demandWaiting) {
         Addr daddr = e->demandAddr;
@@ -431,6 +512,20 @@ Slc::handleFill(const Message &m, bool exclusive)
         // Stores arrived while the read/prefetch was in flight; they
         // retire by upgrading the freshly filled block.
         if (exclusive) {
+            if (is_pure_prefetch) {
+                // Ownership arrived with the prefetched data (e.g. a
+                // migratory grant), so the deferred store consumes the
+                // prefetch right here -- same accounting as the
+                // shared-fill path below, which used to be skipped,
+                // leaving the block tagged but its fate unrecorded.
+                ++pfWriteHitTagged;
+                reportOutcome(frame, true);
+                if (_audit) {
+                    _audit->onFate(blk_addr, audit::Fate::WriteHit,
+                            audit::Event::DeferredStoreHit, now);
+                }
+                frame->prefetched = false;
+            }
             frame->state = CohState::Modified;
             frame->written = true;
             completeStores(*e);
@@ -443,6 +538,10 @@ Slc::handleFill(const Message &m, bool exclusive)
             // it like a store hit on a tagged block.
             ++pfWriteHitTagged;
             reportOutcome(frame, true);
+            if (_audit) {
+                _audit->onFate(blk_addr, audit::Fate::WriteHit,
+                        audit::Event::DeferredStoreHit, now);
+            }
         }
         frame->prefetched = false;
         ++upgrades;
@@ -470,12 +569,18 @@ Slc::receive(const Message &m)
         return;
       case MsgType::UpgradeAck: {
         Mshr *e = findMshr(m.addr);
-        psim_assert(e && e->kind == Mshr::Kind::Write && e->upgrade,
-                "node %u: spurious upgrade ack", _id);
+        if (!e || e->kind != Mshr::Kind::Write || !e->upgrade) {
+            if (_audit)
+                _audit->fail(m.addr, "spurious upgrade ack");
+            psim_panic("node %u: spurious upgrade ack", _id);
+        }
         CacheBlk *blk = _array.find(m.addr);
         if (blk) {
-            psim_assert(blk->state == CohState::Shared,
-                    "node %u: upgrade ack on non-shared copy", _id);
+            if (blk->state != CohState::Shared) {
+                if (_audit)
+                    _audit->fail(m.addr, "upgrade ack on non-shared copy");
+                psim_panic("node %u: upgrade ack on non-shared copy", _id);
+            }
             blk->state = CohState::Modified;
             blk->written = true;
         } else {
@@ -508,13 +613,22 @@ Slc::receive(const Message &m)
         if (!blk) {
             // Our writeback passed this fetch in flight; the home will
             // use the writeback as the reply.
-            psim_assert(_wbPending.count(m.addr),
-                    "node %u: fetch for absent block %llx", _id,
-                    (unsigned long long)m.addr);
+            if (!_wbPending.count(m.addr)) {
+                if (_audit) {
+                    _audit->fail(m.addr,
+                            "fetch for a block neither resident nor "
+                            "being written back");
+                }
+                psim_panic("node %u: fetch for absent block %llx", _id,
+                        (unsigned long long)m.addr);
+            }
             return;
         }
-        psim_assert(blk->state == CohState::Modified,
-                "node %u: fetch for non-owned block", _id);
+        if (blk->state != CohState::Modified) {
+            if (_audit)
+                _audit->fail(m.addr, "fetch for a non-owned block");
+            psim_panic("node %u: fetch for non-owned block", _id);
+        }
         bool was_written = blk->written;
         if (m.type == MsgType::FetchReq) {
             blk->state = CohState::Shared;
@@ -559,10 +673,18 @@ Slc::receive(const Message &m)
 void
 Slc::finalizeStats()
 {
-    _array.forEach([this](const CacheBlk &blk) {
-        if (blk.prefetched)
+    const Tick now = _m.eq().now();
+    _array.forEach([this, now](const CacheBlk &blk) {
+        if (blk.prefetched) {
             ++pfUselessUnused;
+            if (_audit) {
+                _audit->onFate(blk.addr, audit::Fate::ResidentAtEnd,
+                        audit::Event::EndOfRun, now);
+            }
+        }
     });
+    if (_audit)
+        _audit->finalize(*this);
 }
 
 } // namespace psim

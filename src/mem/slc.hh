@@ -31,6 +31,7 @@
 #include "mem/cache_array.hh"
 #include "mem/write_buffer.hh"
 #include "proto/message.hh"
+#include "sim/audit.hh"
 #include "sim/resource.hh"
 #include "sim/stats.hh"
 
@@ -106,6 +107,7 @@ class Slc
     stats::Scalar pfWriteHitTagged;   ///< store hit on a tagged block
     stats::Scalar pfUselessInvalidated;
     stats::Scalar pfUselessReplaced;
+    stats::Scalar pfAgedUnused;       ///< aged out of the ring untouched
     stats::Scalar pfUselessUnused;    ///< still tagged at end of run
     stats::Scalar pfDropInCache;
     stats::Scalar pfDropPending;
@@ -114,7 +116,7 @@ class Slc
 
     /** Useful prefetches (paper's prefetch-efficiency numerator). */
     double usefulPrefetches() const;
-    /** Prefetch efficiency: useful / issued (1.0 when none issued). */
+    /** Prefetch efficiency: useful / issued (NaN when none issued). */
     double prefetchEfficiency() const;
 
   private:
@@ -132,7 +134,20 @@ class Slc
         unsigned deferredStores = 0; ///< stores arriving during a read
     };
 
-    bool mshrFull() const { return _mshrs.size() >= _slwbCap; }
+    /**
+     * Pending transactions occupying SLWB data-buffer slots. Write
+     * entries issued as upgrades await only an ownership ack and buffer
+     * no data, so they do not consume a slot.
+     */
+    std::size_t slwbOccupancy() const;
+
+    /**
+     * Can a new transaction claim an SLWB slot? The reserve rule keeps
+     * the last free slot for demand accesses: a demand allocation needs
+     * one free slot, a prefetch allocation must leave one behind.
+     */
+    bool slwbHasRoom(bool demand) const;
+
     Mshr *findMshr(Addr blk_addr);
 
     /** FLWB-side processing after the tag-array access completes. */
@@ -157,6 +172,7 @@ class Slc
     CacheArray _array;
     std::unique_ptr<Prefetcher> _prefetcher;
     StrideCharacterizer *_characterizer = nullptr;
+    audit::NodeAudit *_audit = nullptr; ///< null when auditing is off
 
     /**
      * Report an outcome for one prefetched block exactly once: true the

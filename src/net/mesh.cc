@@ -78,6 +78,8 @@ Mesh::send(NodeId src, NodeId dst, unsigned flits, DeliverFn deliver)
     psim_assert(src != dst, "mesh send to self");
     psim_assert(src < _cfg.numProcs && dst < _cfg.numProcs,
             "mesh send %u -> %u out of range", src, dst);
+    if (_audit)
+        _audit->onMeshInject(src, dst, flits);
 
     const Tick now = _eq.now();
     const Tick worm = static_cast<Tick>(flits) * _cfg.netCycle;

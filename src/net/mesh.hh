@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "sim/audit.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/resource.hh"
@@ -39,6 +40,9 @@ class Mesh
      * @pre src != dst (local traffic stays on the node bus).
      */
     void send(NodeId src, NodeId dst, unsigned flits, DeliverFn deliver);
+
+    /** Attach the audit layer (mesh message conservation). */
+    void setAudit(audit::MachineAudit *a) { _audit = a; }
 
     /** Hop count of the X-Y route between two nodes. */
     unsigned hops(NodeId src, NodeId dst) const;
@@ -76,6 +80,7 @@ class Mesh
 
     EventQueue &_eq;
     const MachineConfig &_cfg;
+    audit::MachineAudit *_audit = nullptr; ///< null when auditing is off
     /** One Resource per (node, direction): N/E/S/W. */
     std::vector<Resource> _links;
 };

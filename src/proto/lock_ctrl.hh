@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/audit.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -36,15 +37,22 @@ class LockCtrl
 
     explicit LockCtrl(GrantFn grant) : _grant(std::move(grant)) {}
 
+    /** Attach the audit layer (lock-event ring + structured failures). */
+    void setAudit(audit::MachineAudit *a) { _audit = a; }
+
     /** A LockReq arrived from @p src. */
     void
     request(NodeId src, Addr addr)
     {
         ++requests;
+        if (_audit)
+            _audit->onLockEvent(addr, src, "request");
         LockState &l = _locks[addr];
         if (!l.held) {
             l.held = true;
             l.holder = src;
+            if (_audit)
+                _audit->onLockEvent(addr, src, "grant");
             _grant(src, addr);
         } else {
             l.waiters.push_back(src);
@@ -59,17 +67,31 @@ class LockCtrl
     release(NodeId src, Addr addr)
     {
         auto it = _locks.find(addr);
-        psim_assert(it != _locks.end() && it->second.held,
-                "release of free lock %llx", (unsigned long long)addr);
+        if (it == _locks.end() || !it->second.held) {
+            if (_audit)
+                _audit->failLock(addr, "release of a free lock");
+            psim_panic("release of free lock %llx",
+                    (unsigned long long)addr);
+        }
         LockState &l = it->second;
-        psim_assert(l.holder == src,
-                "node %u releasing lock held by %u", src, l.holder);
+        if (l.holder != src) {
+            if (_audit)
+                _audit->failLock(addr,
+                        strfmt("node %u releasing lock held by %u", src,
+                               l.holder));
+            psim_panic("node %u releasing lock held by %u", src,
+                    l.holder);
+        }
+        if (_audit)
+            _audit->onLockEvent(addr, src, "release");
         if (l.waiters.empty()) {
             l.held = false;
             l.holder = kNodeNone;
         } else {
             l.holder = l.waiters.front();
             l.waiters.pop_front();
+            if (_audit)
+                _audit->onLockEvent(addr, l.holder, "handoff");
             _grant(l.holder, addr);
         }
     }
@@ -79,6 +101,26 @@ class LockCtrl
     {
         auto it = _locks.find(addr);
         return it != _locks.end() && it->second.held;
+    }
+
+    /** Locks currently held (audit quiescence check). */
+    std::size_t
+    heldLocks() const
+    {
+        std::size_t n = 0;
+        for (const auto &[addr, l] : _locks)
+            n += l.held ? 1 : 0;
+        return n;
+    }
+
+    /** Requesters queued behind held locks (audit quiescence check). */
+    std::size_t
+    queuedWaiters() const
+    {
+        std::size_t n = 0;
+        for (const auto &[addr, l] : _locks)
+            n += l.waiters.size();
+        return n;
     }
 
     stats::Scalar requests;
@@ -93,6 +135,7 @@ class LockCtrl
     };
 
     GrantFn _grant;
+    audit::MachineAudit *_audit = nullptr;
     std::unordered_map<Addr, LockState> _locks;
 };
 
@@ -127,6 +170,9 @@ class BarrierCtrl
                     (unsigned long long)addr);
         }
     }
+
+    /** Barrier episodes still waiting for arrivals (audit check). */
+    std::size_t pendingEpisodes() const { return _episodes.size(); }
 
     stats::Scalar episodes;
 

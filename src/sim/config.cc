@@ -1,5 +1,9 @@
 #include "sim/config.hh"
 
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/audit.hh"
 #include "sim/logging.hh"
 
 namespace psim
@@ -41,6 +45,18 @@ parseScheme(const std::string &name)
     if (name == "idet-la" || name == "i-det-la" || name == "lookahead")
         return PrefetchScheme::IDetLookahead;
     psim_fatal("unknown prefetch scheme '%s'", name.c_str());
+}
+
+bool
+auditDefault()
+{
+    if (!audit::compiledIn())
+        return false;
+    static const bool enabled = [] {
+        const char *env = std::getenv("PSIM_AUDIT");
+        return env != nullptr && std::strcmp(env, "0") != 0;
+    }();
+    return enabled;
 }
 
 void

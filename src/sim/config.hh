@@ -36,6 +36,14 @@ const char *toString(PrefetchScheme s);
 /** Parse a scheme name ("none", "seq", "idet", "ddet"). */
 PrefetchScheme parseScheme(const std::string &name);
 
+/**
+ * Default for MachineConfig::audit: true when the build has the audit
+ * layer compiled in (PSIM_AUDIT CMake option) and the PSIM_AUDIT
+ * environment variable is set to a value other than "0" -- so CI can
+ * run every bench and test under the audit without code changes.
+ */
+bool auditDefault();
+
 struct PrefetchConfig
 {
     PrefetchScheme scheme = PrefetchScheme::None;
@@ -168,6 +176,15 @@ struct MachineConfig
      * handed to readers in exclusive state, eliminating the upgrade.
      */
     bool migratoryOpt = false;
+
+    /**
+     * Run the invariant-audit layer (sim/audit.hh): per-node prefetch
+     * lifecycle conservation, coherence cross-checks on every message
+     * receive, and quiesce-time machine checks. Defaults to the
+     * PSIM_AUDIT environment variable; costs a hash lookup per audited
+     * event when on, nothing when off.
+     */
+    bool audit = auditDefault();
 
     // ---- Prefetching ----
 

@@ -15,6 +15,11 @@ Machine::Machine(MachineConfig cfg)
     _cfg.validate();
     psim_assert(_cfg.numProcs <= 64,
             "directory presence mask supports at most 64 nodes");
+    if (_cfg.audit && audit::compiledIn()) {
+        _audit = std::make_unique<audit::MachineAudit>(_cfg.numProcs,
+                _cfg.headerFlits);
+        _mesh.setAudit(_audit.get());
+    }
     _nodes.reserve(_cfg.numProcs);
     for (NodeId n = 0; n < _cfg.numProcs; ++n)
         _nodes.push_back(std::make_unique<Node>(*this, n));
@@ -42,6 +47,8 @@ Machine::send(const Message &m)
 void
 Machine::deliver(const Message &m)
 {
+    if (_audit)
+        _audit->onDeliver(m);
     _nodes[m.dst]->deliver(m);
 }
 
@@ -83,6 +90,8 @@ Machine::run(Tick limit)
     if (allFinished()) {
         for (auto &node : _nodes)
             node->slc().finalizeStats();
+        if (_audit)
+            _audit->finalize(*this);
     }
     return end;
 }
@@ -163,6 +172,8 @@ Machine::dumpStats(std::ostream &os) const
                 "tagged blocks lost to invalidations");
         sg.addScalar("pfUselessReplaced", &slc.pfUselessReplaced,
                 "tagged blocks lost to replacement");
+        sg.addScalar("pfAgedUnused", &slc.pfAgedUnused,
+                "tagged blocks aged out of the feedback ring unused");
         sg.addScalar("pfUselessUnused", &slc.pfUselessUnused,
                 "tagged blocks never referenced");
         sg.dump(os);

@@ -10,6 +10,7 @@
 #ifndef PSIM_SYS_MACHINE_HH
 #define PSIM_SYS_MACHINE_HH
 
+#include <limits>
 #include <memory>
 #include <ostream>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "mem/backing_store.hh"
 #include "net/mesh.hh"
 #include "proto/message.hh"
+#include "sim/audit.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "trace/trace.hh"
@@ -44,11 +46,18 @@ struct RunMetrics
     double flits = 0;          ///< network traffic
     double busTransactions = 0;
 
-    /** Useful / issued prefetches; 1.0 when none were issued. */
+    /**
+     * Useful / issued prefetches. NaN (not 1.0) when none were issued:
+     * a run without prefetches has no efficiency, and reporting a
+     * perfect score made baseline rows indistinguishable from schemes
+     * whose every prefetch was useful. Renderers print "--" for NaN.
+     */
     double
     prefetchEfficiency() const
     {
-        return pfIssued > 0 ? pfUseful / pfIssued : 1.0;
+        return pfIssued > 0
+                       ? pfUseful / pfIssued
+                       : std::numeric_limits<double>::quiet_NaN();
     }
 };
 
@@ -66,7 +75,11 @@ class Machine
     BackingStore &store() { return _store; }
     Mesh &mesh() { return _mesh; }
     Node &node(NodeId id) { return *_nodes.at(id); }
+    const Node &node(NodeId id) const { return *_nodes.at(id); }
     unsigned numProcs() const { return _cfg.numProcs; }
+
+    /** The invariant-audit layer, or nullptr when auditing is off. */
+    audit::MachineAudit *auditor() { return _audit.get(); }
 
     /**
      * Route a message from its source component: across the source
@@ -123,6 +136,8 @@ class Machine
     MachineConfig _cfg;
     EventQueue _eq;
     BackingStore _store;
+    /** Created before the mesh and nodes so they can wire into it. */
+    std::unique_ptr<audit::MachineAudit> _audit;
     Mesh _mesh;
     std::vector<std::unique_ptr<Node>> _nodes;
     std::vector<std::unique_ptr<StrideCharacterizer>> _chars;

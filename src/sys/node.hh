@@ -36,7 +36,9 @@ class Node
     Flc &flc() { return *_flc; }
     Flwb &flwb() { return *_flwb; }
     Slc &slc() { return *_slc; }
+    const Slc &slc() const { return *_slc; }
     MemCtrl &mem() { return *_mem; }
+    const MemCtrl &mem() const { return *_mem; }
     Bus &bus() { return *_bus; }
 
   private:

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "apps/driver.hh"
@@ -76,14 +77,17 @@ TEST(Machine, RunLimitStopsEarly)
     EXPECT_LE(run.machine->eq().now(), 50u);
 }
 
-TEST(Machine, PrefetchEfficiencyIsOneWithoutPrefetching)
+TEST(Machine, PrefetchEfficiencyIsNaNWithoutPrefetching)
 {
+    // With no prefetches issued there is no efficiency to report:
+    // 0/0 is NaN, not a perfect 1.0 (which used to make baseline rows
+    // look like flawless prefetchers in the tables).
     MachineConfig cfg;
     cfg.numProcs = 4;
     apps::Run run = apps::runWorkload("lu", cfg);
     ASSERT_TRUE(run.finished);
     EXPECT_DOUBLE_EQ(run.metrics.pfIssued, 0.0);
-    EXPECT_DOUBLE_EQ(run.metrics.prefetchEfficiency(), 1.0);
+    EXPECT_TRUE(std::isnan(run.metrics.prefetchEfficiency()));
 }
 
 TEST(Machine, EightAndThirtyTwoProcessorConfigurations)

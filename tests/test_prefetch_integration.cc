@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "harness.hh"
 
 using namespace psim;
@@ -66,6 +68,17 @@ runStream(PrefetchScheme scheme, unsigned bytes, unsigned stride,
                         slc.pfIssued.value(), slc.usefulPrefetches(),
                         slc.pfDropPageCross.value(),
                         slc.pfDropInCache.value()};
+}
+
+/** Sum of the terminal-fate buckets; must equal pfIssued at quiesce. */
+double
+accountedFates(const Slc &slc)
+{
+    return slc.pfUsefulTagged.value() + slc.pfUsefulLate.value() +
+           slc.pfWriteHitTagged.value() +
+           slc.pfUselessInvalidated.value() +
+           slc.pfUselessReplaced.value() + slc.pfAgedUnused.value() +
+           slc.pfUselessUnused.value();
 }
 
 } // namespace
@@ -204,15 +217,66 @@ TEST(PrefetchIntegration, TaggedHitAccountingBalances)
     sys.run(0, streamReads(sys.ctx(0), base, 4096, 32, 40));
     ASSERT_TRUE(sys.finish());
     const Slc &slc = sys.m.node(0).slc();
-    double accounted = slc.pfUsefulTagged.value() +
-                       slc.pfUsefulLate.value() +
-                       slc.pfWriteHitTagged.value() +
-                       slc.pfUselessInvalidated.value() +
-                       slc.pfUselessReplaced.value() +
-                       slc.pfUselessUnused.value();
     // Every issued prefetch ends in exactly one bucket by the end of
     // the run (the machine is quiescent).
-    EXPECT_DOUBLE_EQ(accounted, slc.pfIssued.value());
+    EXPECT_DOUBLE_EQ(accountedFates(slc), slc.pfIssued.value());
+}
+
+TEST(PrefetchIntegration, BaselineEfficiencyIsNaN)
+{
+    // 0 useful out of 0 issued is not an efficiency of 1.0 -- the
+    // baseline must not look like a flawless prefetcher.
+    MachineConfig cfg = soloCfg(PrefetchScheme::None);
+    MiniSystem sys(cfg);
+    sys.run(0, streamReads(sys.ctx(0), pageBase(cfg, 0), 1024, 32, 40));
+    ASSERT_TRUE(sys.finish());
+    const Slc &slc = sys.m.node(0).slc();
+    EXPECT_DOUBLE_EQ(slc.pfIssued.value(), 0.0);
+    EXPECT_TRUE(std::isnan(slc.prefetchEfficiency()));
+}
+
+TEST(PrefetchIntegration, AgedPrefetchesGetASingleFate)
+{
+    // Adaptive prefetching with a stream that never touches the
+    // prefetched blocks: read every other block, so each miss fetches
+    // an intermediate block that goes stale in the aging ring. Those
+    // blocks must end up in pfAgedUnused -- and only there; before the
+    // fix they were counted aged AND again at the end of the run.
+    MachineConfig cfg = soloCfg(PrefetchScheme::Adaptive);
+    MiniSystem sys(cfg);
+    Addr base = pageBase(cfg, 0);
+    sys.run(0, streamReads(sys.ctx(0), base, 8192, 64, 40));
+    ASSERT_TRUE(sys.finish());
+    const Slc &slc = sys.m.node(0).slc();
+    EXPECT_GT(slc.pfAgedUnused.value(), 0.0);
+    EXPECT_DOUBLE_EQ(accountedFates(slc), slc.pfIssued.value());
+}
+
+TEST(PrefetchIntegration, UpgradesDoNotConsumeSlwbSlots)
+{
+    // An upgrade MSHR buffers no data -- it waits for an ack -- so it
+    // must not count against the SLWB entry budget. With a 3-entry
+    // SLWB, an in-flight upgrade plus a demand miss used to trip the
+    // reserve rule and drop the miss's prefetch; the unified occupancy
+    // rule keeps the slot available.
+    MachineConfig cfg = soloCfg(PrefetchScheme::Sequential);
+    cfg.slwbEntries = 3;
+    MiniSystem sys(cfg);
+    Addr x = pageBase(cfg, 1); // page 1: home is node 1, so the
+                               // upgrade ack takes a mesh round trip
+    auto t = [](apps::ThreadCtx &ctx, Addr x) -> Task {
+        co_await ctx.read<double>(x); // miss; prefetches x+32
+        co_await ctx.think(100);      // both fills complete
+        co_await ctx.write<double>(x, 1.0); // shared -> upgrade in flight
+        co_await ctx.read<double>(x + 64);  // miss while upgrade pending
+        co_await ctx.think(200);
+    };
+    sys.run(0, t(sys.ctx(0), x));
+    ASSERT_TRUE(sys.finish());
+    const Slc &slc = sys.m.node(0).slc();
+    EXPECT_GE(slc.upgrades.value(), 1.0);
+    EXPECT_GE(slc.pfIssued.value(), 2.0);
+    EXPECT_DOUBLE_EQ(slc.pfDropNoSlot.value(), 0.0);
 }
 
 TEST(PrefetchIntegration, FiniteSlcStillBenefitsFromPrefetching)

@@ -102,6 +102,7 @@ TEST_P(CoherenceChaos, InvariantsHoldUnderRandomTraffic)
                            slc.pfWriteHitTagged.value() +
                            slc.pfUselessInvalidated.value() +
                            slc.pfUselessReplaced.value() +
+                           slc.pfAgedUnused.value() +
                            slc.pfUselessUnused.value();
         EXPECT_DOUBLE_EQ(accounted, slc.pfIssued.value())
                 << "node " << n;

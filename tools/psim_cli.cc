@@ -133,8 +133,13 @@ main(int argc, char **argv)
                 mx.readMisses, mx.missesCold, mx.missesCoherence,
                 mx.missesReplacement);
     std::printf("read stall       %.0f ticks\n", mx.readStall);
-    std::printf("prefetches       %.0f issued, %.0f useful (eff %.2f)\n",
-                mx.pfIssued, mx.pfUseful, mx.prefetchEfficiency());
+    if (mx.pfIssued > 0) {
+        std::printf("prefetches       %.0f issued, %.0f useful "
+                    "(eff %.2f)\n",
+                    mx.pfIssued, mx.pfUseful, mx.prefetchEfficiency());
+    } else {
+        std::printf("prefetches       none issued (eff —)\n");
+    }
     std::printf("network flits    %.0f\n", mx.flits);
     if (tracer)
         std::printf("trace            %llu records -> %s\n",
