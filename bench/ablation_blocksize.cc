@@ -34,7 +34,9 @@ main(int argc, char **argv)
         MachineConfig cfg = seq ? paperConfig(PrefetchScheme::Sequential)
                                 : paperConfig();
         cfg.blockSize = block;
-        results[i] = runChecked(name, cfg).metrics;
+        std::string cell = name + "-" + (seq ? "seq" : "base") + "-" +
+                           std::to_string(block) + "B";
+        results[i] = runChecked(name, cfg, opt.runOptions(cell)).metrics;
         progress(name.c_str(), seq ? "seq" : "base");
     });
 

@@ -34,7 +34,8 @@ main(int argc, char **argv)
         const std::string &name = workloads[i / per_app];
         std::size_t k = i % per_app;
         if (k == 0) {
-            results[i] = runChecked(name, paperConfig()).metrics;
+            results[i] = runChecked(name, paperConfig(),
+                    opt.runOptions(name + "-baseline")).metrics;
             progress(name.c_str(), "baseline");
             return;
         }
@@ -42,7 +43,9 @@ main(int argc, char **argv)
         unsigned d = degrees[(k - 1) % degrees.size()];
         MachineConfig cfg = paperConfig(scheme);
         cfg.prefetch.degree = d;
-        results[i] = runChecked(name, cfg).metrics;
+        std::string cell = name + "-" + toString(scheme) + "-d" +
+                           std::to_string(d);
+        results[i] = runChecked(name, cfg, opt.runOptions(cell)).metrics;
         progress(name.c_str(), toString(scheme));
     });
 

@@ -35,6 +35,8 @@ struct BenchOptions
     unsigned jobs = 0;        ///< 0: PSIM_JOBS env, else hardware
     std::string jsonPath;     ///< empty: no machine-readable output
     std::vector<std::string> apps; ///< empty: the paper's six
+    /** Per-cell observability flags (--stats-json & friends). */
+    apps::ObservabilityOptions obs;
 
     /** The workload list this harness should run. */
     const std::vector<std::string> &
@@ -42,10 +44,23 @@ struct BenchOptions
     {
         return apps.empty() ? apps::paperWorkloads() : apps;
     }
+
+    /**
+     * RunOptions for one grid cell: @p base with the observability
+     * flags applied, output files named "<prefix><cell>.json"/".csv".
+     */
+    apps::RunOptions
+    runOptions(const std::string &cell, apps::RunOptions base = {}) const
+    {
+        obs.apply(base, cell);
+        return base;
+    }
 };
 
 /**
- * Parse `--jobs N` (or `-jN`), `--json <path>` and `--apps a,b,c`.
+ * Parse `--jobs N` (or `-jN`), `--json <path>`, `--apps a,b,c` and the
+ * shared observability flags (--stats-json PREFIX, --sample-interval N,
+ * --sample-csv PREFIX, --chrome-trace PREFIX, --chrome-window A:B).
  * Unknown arguments are fatal so typos do not silently serialize.
  */
 inline BenchOptions
@@ -59,7 +74,9 @@ parseBenchArgs(int argc, char **argv)
                 psim_fatal("%s needs a value", flag);
             return std::string(argv[++i]);
         };
-        if (arg == "--jobs" || arg == "-j") {
+        if (opt.obs.parseArg(argc, argv, &i)) {
+            // consumed an observability flag
+        } else if (arg == "--jobs" || arg == "-j") {
             opt.jobs = static_cast<unsigned>(
                     std::strtoul(value("--jobs").c_str(), nullptr, 10));
             if (opt.jobs == 0)
@@ -86,7 +103,10 @@ parseBenchArgs(int argc, char **argv)
                 psim_fatal("--apps needs a comma-separated list");
         } else {
             psim_fatal("unknown argument '%s' "
-                       "(supported: --jobs N, --json PATH, --apps a,b)",
+                       "(supported: --jobs N, --json PATH, --apps a,b, "
+                       "--stats-json PREFIX, --sample-interval N, "
+                       "--sample-csv PREFIX, --chrome-trace PREFIX, "
+                       "--chrome-window A:B)",
                        arg.c_str());
         }
     }

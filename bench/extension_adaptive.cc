@@ -20,8 +20,9 @@ using namespace psim;
 using namespace psim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
     const std::vector<PrefetchScheme> schemes = {
         PrefetchScheme::Sequential, PrefetchScheme::Adaptive,
         PrefetchScheme::IDet};
@@ -33,10 +34,12 @@ main()
                 "rel misses", "rel stall", "pf eff", "rel flits");
     hr(92);
 
-    for (const auto &name : apps::paperWorkloads()) {
-        apps::Run base = runChecked(name, paperConfig());
+    for (const auto &name : opt.workloads()) {
+        apps::Run base = runChecked(name, paperConfig(),
+                opt.runOptions(name + "-base"));
         for (PrefetchScheme scheme : schemes) {
-            apps::Run run = runChecked(name, paperConfig(scheme));
+            apps::Run run = runChecked(name, paperConfig(scheme),
+                    opt.runOptions(name + "-" + toString(scheme)));
             std::printf("%-10s %-9s %12.2f %12.2f %s %12.2f\n",
                         name.c_str(), toString(scheme),
                         run.metrics.readMisses / base.metrics.readMisses,

@@ -17,8 +17,9 @@ using namespace psim;
 using namespace psim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
     std::printf("Extension: tagged-continuation I-det vs lookahead-PC "
                 "I-det (16 procs, infinite SLC)\n\n");
     hr(92);
@@ -27,10 +28,12 @@ main()
                 "rel flits");
     hr(92);
 
-    for (const auto &name : apps::paperWorkloads()) {
-        apps::Run base = runChecked(name, paperConfig());
+    for (const auto &name : opt.workloads()) {
+        apps::Run base = runChecked(name, paperConfig(),
+                opt.runOptions(name + "-base"));
 
-        apps::Run idet = runChecked(name, paperConfig(PrefetchScheme::IDet));
+        apps::Run idet = runChecked(name, paperConfig(PrefetchScheme::IDet),
+                opt.runOptions(name + "-idet"));
         std::printf("%-10s %-10s %4s %12.2f %12.2f %s %12.2f\n",
                     name.c_str(), "i-det", "-",
                     idet.metrics.readMisses / base.metrics.readMisses,
@@ -41,7 +44,8 @@ main()
         for (unsigned la : {1u, 2u, 4u}) {
             MachineConfig cfg = paperConfig(PrefetchScheme::IDetLookahead);
             cfg.prefetch.lookaheadStrides = la;
-            apps::Run run = runChecked(name, cfg);
+            apps::Run run = runChecked(name, cfg,
+                    opt.runOptions(name + "-la" + std::to_string(la)));
             std::printf("%-10s %-10s %4u %12.2f %12.2f %s %12.2f\n",
                         name.c_str(), "i-det-la", la,
                         run.metrics.readMisses / base.metrics.readMisses,

@@ -25,8 +25,9 @@ using namespace psim;
 using namespace psim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
     std::printf("Part 1: release vs sequential consistency "
                 "(16 procs, infinite SLC)\n\n");
     hr(92);
@@ -38,7 +39,9 @@ main()
             for (const char *scheme : {"none", "seq"}) {
                 MachineConfig cfg = paperConfig(parseScheme(scheme));
                 cfg.sequentialConsistency = sc;
-                apps::Run run = runChecked(app, cfg);
+                apps::Run run = runChecked(app, cfg,
+                        opt.runOptions(std::string(app) + "-" +
+                                       (sc ? "sc" : "rc") + "-" + scheme));
                 double wstall = 0;
                 for (NodeId n = 0; n < cfg.numProcs; ++n) {
                     wstall += run.machine->node(n)
@@ -66,7 +69,10 @@ main()
             for (const char *scheme : {"none", "seq"}) {
                 MachineConfig cfg = paperConfig(parseScheme(scheme));
                 cfg.migratoryOpt = mig;
-                apps::Run run = runChecked(app, cfg);
+                apps::Run run = runChecked(app, cfg,
+                        opt.runOptions(std::string(app) + "-" +
+                                       (mig ? "mig" : "plain") + "-" +
+                                       scheme));
                 double upgrades = 0, grants = 0;
                 for (NodeId n = 0; n < cfg.numProcs; ++n) {
                     upgrades += run.machine->node(n)

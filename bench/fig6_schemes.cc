@@ -63,7 +63,8 @@ main(int argc, char **argv)
     runGrid(cells.size(), jobs, [&](std::size_t i) {
         const std::string &name = workloads[i / schemes.size()];
         PrefetchScheme scheme = schemes[i % schemes.size()];
-        apps::Run run = runChecked(name, paperConfig(scheme));
+        apps::Run run = runChecked(name, paperConfig(scheme),
+                opt.runOptions(name + "-" + toString(scheme)));
         Cell c;
         c.misses = run.metrics.readMisses;
         c.stall = run.metrics.readStall;

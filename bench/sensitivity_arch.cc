@@ -30,19 +30,25 @@ struct Point
 };
 
 std::string
-comparePoint(const Point &p)
+comparePoint(const BenchOptions &opt, const Point &p)
 {
+    // Cell names fold the sweep label in ("slwb=4-lu-seq", ...).
+    std::string stem = p.label + "-" + p.app + "-";
+
     MachineConfig none_cfg = p.cfg;
     none_cfg.prefetch.scheme = PrefetchScheme::None;
-    apps::Run base = runChecked(p.app, none_cfg);
+    apps::Run base = runChecked(p.app, none_cfg,
+            opt.runOptions(stem + "base"));
 
     MachineConfig seq_cfg = p.cfg;
     seq_cfg.prefetch.scheme = PrefetchScheme::Sequential;
-    apps::Run seq = runChecked(p.app, seq_cfg);
+    apps::Run seq = runChecked(p.app, seq_cfg,
+            opt.runOptions(stem + "seq"));
 
     MachineConfig idet_cfg = p.cfg;
     idet_cfg.prefetch.scheme = PrefetchScheme::IDet;
-    apps::Run idet = runChecked(p.app, idet_cfg);
+    apps::Run idet = runChecked(p.app, idet_cfg,
+            opt.runOptions(stem + "idet"));
 
     const char *winner =
             seq.metrics.readMisses < idet.metrics.readMisses
@@ -99,7 +105,7 @@ main(int argc, char **argv)
 
     std::vector<std::string> lines(points.size());
     runGrid(points.size(), resolveJobs(opt.jobs), [&](std::size_t i) {
-        lines[i] = comparePoint(points[i]);
+        lines[i] = comparePoint(opt, points[i]);
         progress(points[i].app.c_str(), points[i].label.c_str());
     });
 

@@ -31,7 +31,7 @@ main(int argc, char **argv)
         MachineConfig cfg = paperConfig();
         apps::RunOptions opts;
         opts.characterize = true;
-        apps::Run run = runChecked(name, cfg, opts);
+        apps::Run run = runChecked(name, cfg, opt.runOptions(name, opts));
 
         // The paper considers the requests of one processor, "which
         // has been shown to be representative"; node 0 here.

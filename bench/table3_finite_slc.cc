@@ -29,7 +29,7 @@ main(int argc, char **argv)
         cfg.slcAssoc = 1;
         apps::RunOptions opts;
         opts.characterize = true;
-        apps::Run run = runChecked(name, cfg, opts);
+        apps::Run run = runChecked(name, cfg, opt.runOptions(name, opts));
 
         auto report = run.machine->characterizer(0)->finalize();
         const Slc &slc = run.machine->node(0).slc();

@@ -23,13 +23,14 @@ struct Row
 };
 
 Row
-measure(const std::string &name, unsigned scale)
+measure(const BenchOptions &opt, const std::string &name, unsigned scale)
 {
     MachineConfig cfg = paperConfig();
     apps::RunOptions opts;
     opts.characterize = true;
     opts.scale = scale;
-    apps::Run run = runChecked(name, cfg, opts);
+    std::string cell = name + "-scale" + std::to_string(scale);
+    apps::Run run = runChecked(name, cfg, opt.runOptions(cell, opts));
     auto report = run.machine->characterizer(0)->finalize();
     std::int64_t dom =
             report.topStrides.empty() ? 0 : report.topStrides[0].first;
@@ -59,7 +60,7 @@ main(int argc, char **argv)
     runGrid(measured.size(), resolveJobs(opt.jobs), [&](std::size_t i) {
         const std::string &name = workloads[i / 2];
         unsigned scale = 1 + static_cast<unsigned>(i % 2);
-        measured[i] = measure(name, scale);
+        measured[i] = measure(opt, name, scale);
         progress(name.c_str(), scale == 1 ? "scale1" : "scale2");
     });
 

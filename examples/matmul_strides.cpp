@@ -33,8 +33,17 @@ fmtEff(double eff, int width)
 }
 
 int
-main()
+main(int argc, char **argv)
 {
+    apps::ObservabilityOptions obs;
+    for (int i = 1; i < argc; ++i) {
+        if (!obs.parseArg(argc, argv, &i)) {
+            std::printf("unknown argument '%s' (this example only takes "
+                        "the shared observability flags)\n", argv[i]);
+            return 1;
+        }
+    }
+
     std::printf("Figure-2 matrix multiplication on the 16-node "
                 "machine\n\n");
 
@@ -43,6 +52,7 @@ main()
         MachineConfig cfg;
         apps::RunOptions opts;
         opts.characterize = true;
+        obs.apply(opts, "matmul-characterize");
         apps::Run run = apps::runWorkload("matmul", cfg, opts);
         if (!run.finished || !run.verified) {
             std::printf("baseline run failed\n");
@@ -73,7 +83,9 @@ main()
     for (const char *scheme : {"none", "idet", "ddet", "seq"}) {
         MachineConfig cfg;
         cfg.prefetch.scheme = parseScheme(scheme);
-        apps::Run run = apps::runWorkload("matmul", cfg);
+        apps::RunOptions opts;
+        obs.apply(opts, std::string("matmul-") + scheme);
+        apps::Run run = apps::runWorkload("matmul", cfg, opts);
         if (!run.finished || !run.verified) {
             std::printf("%s run failed\n", scheme);
             return 1;

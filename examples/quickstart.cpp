@@ -3,7 +3,12 @@
  * Quickstart: build the paper's 16-node machine, run the LU workload
  * under each prefetching scheme, and print the headline metrics.
  *
- * Usage: quickstart [workload] [scale]
+ * Usage: quickstart [workload] [scale] [observability flags]
+ *
+ * The shared observability flags (--stats-json PREFIX,
+ * --sample-interval N, --sample-csv PREFIX, --chrome-trace PREFIX,
+ * --chrome-window A:B) write per-scheme machine-readable output, e.g.
+ * `quickstart lu 1 --stats-json out/` produces out/lu-seq.json etc.
  */
 
 #include <cmath>
@@ -29,8 +34,19 @@ fmtEff(double eff, int width)
 int
 main(int argc, char **argv)
 {
-    std::string workload = argc > 1 ? argv[1] : "lu";
-    unsigned scale = argc > 2 ? static_cast<unsigned>(atoi(argv[2])) : 1;
+    std::string workload = "lu";
+    unsigned scale = 1;
+    apps::ObservabilityOptions obs;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (obs.parseArg(argc, argv, &i))
+            continue;
+        if (positional == 0)
+            workload = argv[i];
+        else if (positional == 1)
+            scale = static_cast<unsigned>(atoi(argv[i]));
+        ++positional;
+    }
 
     std::printf("workload: %s (scale %u), 16 processors, 32 B blocks, "
                 "infinite SLC\n\n", workload.c_str(), scale);
@@ -45,6 +61,7 @@ main(int argc, char **argv)
         cfg.prefetch.scheme = parseScheme(scheme);
         apps::RunOptions opts;
         opts.scale = scale;
+        obs.apply(opts, workload + "-" + scheme);
         apps::Run run = apps::runWorkload(workload, cfg, opts);
         if (!run.finished) {
             std::printf("%-10s DID NOT FINISH\n", scheme);

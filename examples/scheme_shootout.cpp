@@ -4,7 +4,10 @@
  * degrees and cache sizes from the command line -- the knobs of the
  * paper's whole evaluation in one binary.
  *
- * Usage: scheme_shootout [workload] [scale]
+ * Usage: scheme_shootout [workload] [scale] [observability flags]
+ *
+ * The shared observability flags (--stats-json PREFIX and friends)
+ * write per-configuration machine-readable output.
  *
  * Sweeps {baseline, i-det, d-det, seq} x degree {1,4} x SLC
  * {infinite, 16 KB} and prints a comparison grid.
@@ -34,8 +37,19 @@ fmtEff(double eff, int width)
 int
 main(int argc, char **argv)
 {
-    std::string workload = argc > 1 ? argv[1] : "ocean";
-    unsigned scale = argc > 2 ? static_cast<unsigned>(atoi(argv[2])) : 1;
+    std::string workload = "ocean";
+    unsigned scale = 1;
+    apps::ObservabilityOptions obs;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (obs.parseArg(argc, argv, &i))
+            continue;
+        if (positional == 0)
+            workload = argv[i];
+        else if (positional == 1)
+            scale = static_cast<unsigned>(atoi(argv[i]));
+        ++positional;
+    }
 
     std::printf("%s (scale %u) across the paper's design space\n\n",
                 workload.c_str(), scale);
@@ -54,6 +68,9 @@ main(int argc, char **argv)
                 cfg.slcSize = slc;
                 apps::RunOptions opts;
                 opts.scale = scale;
+                obs.apply(opts, workload + "-" + scheme + "-d" +
+                                std::to_string(d) +
+                                (slc ? "-16KB" : "-inf"));
                 apps::Run run = apps::runWorkload(workload, cfg, opts);
                 if (!run.finished || !run.verified) {
                     std::printf("%-9s %4u %9s | FAILED\n", scheme, d,

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Validate psim --stats-json documents against scripts/stats_schema.json.
+
+Standard library only: implements exactly the subset of JSON Schema the
+schema file uses (type, const, enum, required, properties, items,
+minimum). CI runs this over the stats documents a smoke run produces so
+schema drift is caught at the source, not in downstream tooling.
+
+Usage: check_stats_schema.py FILE [FILE...]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent / "stats_schema.json"
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "null": lambda v: v is None,
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def validate(value, schema, path, errors):
+    types = schema.get("type")
+    if types is not None:
+        if isinstance(types, str):
+            types = [types]
+        if not any(TYPE_CHECKS[t](value) for t in types):
+            errors.append(
+                f"{path}: expected {'|'.join(types)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']!r}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required member '{key}'")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def check_file(path, schema):
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    errors = []
+    validate(doc, schema, path, errors)
+    # Cross-field checks the schema language cannot express: every
+    # sampler row is [tick, one value per probe].
+    samples = doc.get("samples") if isinstance(doc, dict) else None
+    if isinstance(samples, dict):
+        width = 1 + len(samples.get("probes", []))
+        for i, row in enumerate(samples.get("rows", [])):
+            if isinstance(row, list) and len(row) != width:
+                errors.append(
+                    f"{path}.samples.rows[{i}]: {len(row)} columns, "
+                    f"expected {width}"
+                )
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    schema = json.loads(SCHEMA_PATH.read_text())
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path, schema)
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"FAIL {e}", file=sys.stderr)
+        else:
+            print(f"ok   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,9 +1,33 @@
 #include "apps/driver.hh"
 
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+
 #include "sim/logging.hh"
+#include "sim/sampler.hh"
+#include "trace/chrome_trace.hh"
 
 namespace psim::apps
 {
+
+namespace
+{
+
+void
+writeFile(const std::string &path,
+          const std::function<void(std::ostream &)> &emit)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        psim_fatal("cannot write %s", path.c_str());
+    emit(out);
+    out.flush();
+    if (!out)
+        psim_fatal("write to %s failed", path.c_str());
+}
+
+} // namespace
 
 Run
 runWorkload(const std::string &workload_name, const MachineConfig &cfg,
@@ -14,6 +38,10 @@ runWorkload(const std::string &workload_name, const MachineConfig &cfg,
     run.workload = makeWorkload(workload_name, opts.scale);
     if (opts.characterize)
         run.machine->enableCharacterizers();
+    if (opts.sampleInterval > 0)
+        run.machine->enableSampling(opts.sampleInterval);
+    if (!opts.chromeTracePath.empty())
+        run.machine->enableChromeTrace(opts.chromeStart, opts.chromeEnd);
     run.workload->attach(*run.machine);
     run.machine->run(opts.limit);
     run.finished = run.machine->allFinished();
@@ -23,7 +51,95 @@ runWorkload(const std::string &workload_name, const MachineConfig &cfg,
             run.machine->checkCoherenceInvariants();
     }
     run.metrics = run.machine->metrics();
+
+    if (!opts.statsJsonPath.empty()) {
+        writeFile(opts.statsJsonPath, [&run](std::ostream &os) {
+            run.machine->dumpStatsJson(os);
+        });
+    }
+    if (!opts.sampleCsvPath.empty()) {
+        const stats::Sampler *s = run.machine->sampler();
+        psim_assert(s, "--sample-csv needs a sample interval");
+        writeFile(opts.sampleCsvPath,
+                [s](std::ostream &os) { s->dumpCsv(os); });
+    }
+    if (!opts.chromeTracePath.empty()) {
+        const ChromeTracer *t = run.machine->chromeTracer();
+        writeFile(opts.chromeTracePath,
+                [t](std::ostream &os) { t->write(os); });
+    }
     return run;
+}
+
+bool
+ObservabilityOptions::parseArg(int argc, char **argv, int *i)
+{
+    std::string arg = argv[*i];
+    auto value = [&](const char *flag) {
+        if (*i + 1 >= argc)
+            psim_fatal("%s needs a value", flag);
+        return std::string(argv[++*i]);
+    };
+    if (arg == "--stats-json") {
+        statsJsonPrefix = value("--stats-json");
+        return true;
+    }
+    if (arg == "--sample-csv") {
+        sampleCsvPrefix = value("--sample-csv");
+        return true;
+    }
+    if (arg == "--chrome-trace") {
+        chromeTracePrefix = value("--chrome-trace");
+        return true;
+    }
+    if (arg == "--sample-interval") {
+        std::string v = value("--sample-interval");
+        sampleInterval = static_cast<Tick>(
+                std::strtoull(v.c_str(), nullptr, 10));
+        if (sampleInterval == 0)
+            psim_fatal("--sample-interval must be a positive tick count");
+        return true;
+    }
+    if (arg == "--chrome-window") {
+        std::string v = value("--chrome-window");
+        std::size_t colon = v.find(':');
+        if (colon == std::string::npos)
+            psim_fatal("--chrome-window wants START:END ticks");
+        chromeStart = static_cast<Tick>(
+                std::strtoull(v.substr(0, colon).c_str(), nullptr, 10));
+        std::string end = v.substr(colon + 1);
+        chromeEnd = end.empty()
+                ? kTickNever
+                : static_cast<Tick>(
+                          std::strtoull(end.c_str(), nullptr, 10));
+        if (chromeEnd < chromeStart)
+            psim_fatal("--chrome-window END precedes START");
+        return true;
+    }
+    return false;
+}
+
+void
+ObservabilityOptions::apply(RunOptions &opts, const std::string &cell) const
+{
+    if (!statsJsonPrefix.empty()) {
+        opts.statsJsonPath = cell.empty() ? statsJsonPrefix
+                                          : statsJsonPrefix + cell + ".json";
+    }
+    opts.sampleInterval = sampleInterval;
+    if (!sampleCsvPrefix.empty()) {
+        if (sampleInterval == 0)
+            psim_fatal("--sample-csv needs --sample-interval");
+        opts.sampleCsvPath = cell.empty() ? sampleCsvPrefix
+                                          : sampleCsvPrefix + cell + ".csv";
+    }
+    if (!chromeTracePrefix.empty()) {
+        opts.chromeTracePath = cell.empty()
+                ? chromeTracePrefix
+                : chromeTracePrefix + cell + ".json";
+    }
+    opts.chromeStart = chromeStart;
+    opts.chromeEnd = chromeEnd;
 }
 
 } // namespace psim::apps

@@ -32,11 +32,68 @@ struct RunOptions
     bool characterize = false;   ///< attach Table-2/3 characterizers
     bool checkInvariants = true; ///< verify coherence invariants after
     Tick limit = kTickNever;     ///< simulated-time safety limit
+
+    // ---- observability (all read-only: enabling any of these never
+    //      changes simulated behaviour or aggregate statistics) ----
+
+    /** Write the schema'd JSON stats dump here (empty: none). */
+    std::string statsJsonPath;
+    /** Snapshot selected scalars every N ticks (0: off). */
+    Tick sampleInterval = 0;
+    /** Write the sampler's time series as CSV here (empty: none). */
+    std::string sampleCsvPath;
+    /** Write a chrome://tracing event file here (empty: none). */
+    std::string chromeTracePath;
+    /** Chrome-trace recording window in ticks. */
+    Tick chromeStart = 0;
+    Tick chromeEnd = kTickNever;
 };
 
 /** Run @p workload_name on a machine configured by @p cfg. */
 Run runWorkload(const std::string &workload_name, const MachineConfig &cfg,
                 const RunOptions &opts = {});
+
+/**
+ * Command-line observability flags shared by the benches, the examples
+ * and the tools:
+ *
+ *   --stats-json PREFIX      JSON stats dump per run
+ *   --sample-interval N      sampler period in ticks (with --stats-json
+ *                            the series lands in the JSON document)
+ *   --sample-csv PREFIX      sampler time series as CSV per run
+ *   --chrome-trace PREFIX    chrome://tracing / Perfetto event file
+ *   --chrome-window A:B      restrict chrome-trace recording to [A, B]
+ *
+ * PREFIX is a path prefix: grid harnesses run many (app, scheme) cells
+ * and apply() expands "<prefix><cell>.json" / ".csv" per cell. Callers
+ * with a single run pass an empty cell to use PREFIX verbatim.
+ */
+struct ObservabilityOptions
+{
+    std::string statsJsonPrefix;
+    std::string sampleCsvPrefix;
+    std::string chromeTracePrefix;
+    Tick sampleInterval = 0;
+    Tick chromeStart = 0;
+    Tick chromeEnd = kTickNever;
+
+    bool
+    enabled() const
+    {
+        return !statsJsonPrefix.empty() || !sampleCsvPrefix.empty() ||
+               !chromeTracePrefix.empty() || sampleInterval != 0;
+    }
+
+    /**
+     * Try to consume argv[*i] (and its value). @return true when the
+     * argument was one of the observability flags; *i is advanced past
+     * any consumed value. Fatal on a missing or malformed value.
+     */
+    bool parseArg(int argc, char **argv, int *i);
+
+    /** Fill the observability fields of @p opts for one cell. */
+    void apply(RunOptions &opts, const std::string &cell) const;
+};
 
 } // namespace psim::apps
 

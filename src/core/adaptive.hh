@@ -103,6 +103,16 @@ class AdaptiveSequentialPrefetcher : public Prefetcher
 
     const char *name() const override { return "adaptive"; }
 
+    void
+    registerStats(stats::Group &g) override
+    {
+        Prefetcher::registerStats(g);
+        g.addScalar("degreeIncreases", &increases, "degree increases");
+        g.addScalar("degreeDecreases", &decreases, "degree decreases");
+        g.addScalar("reenables", &reenables,
+                "re-enables after a degree-0 phase");
+    }
+
     unsigned degree() const { return _degree; }
 
     stats::Scalar increases;

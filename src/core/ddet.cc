@@ -153,13 +153,26 @@ DDetPrefetcher::observeRead(const ReadObservation &obs,
 
     // Pair the miss with every buffered miss; count candidate strides
     // and allocate a stream once a stride already known to be common
-    // reappears (the "two additional misses" of Section 3.2).
+    // reappears (the "two additional misses" of Section 3.2). The miss
+    // list can hold the same address more than once (repeated misses to
+    // one block are common under invalidations); such duplicates form
+    // the same stride again, and counting it twice for one observation
+    // would reach the threshold-3 promotion early. Each distinct stride
+    // is therefore counted at most once per observed miss, and its
+    // common/frequency classification is fixed before any counting so a
+    // promotion during this observation cannot also allocate a stream.
     bool stream_allocated = false;
+    _strideScratch.clear();
     for (auto it = _missList.rbegin(); it != _missList.rend(); ++it) {
         std::int64_t s = static_cast<std::int64_t>(obs.addr) -
                          static_cast<std::int64_t>(*it);
         if (s == 0 || s >= _maxStrideBytes || s <= -_maxStrideBytes)
             continue;
+        if (std::find(_strideScratch.begin(), _strideScratch.end(), s) !=
+            _strideScratch.end()) {
+            continue; // duplicate buffered address, stride already seen
+        }
+        _strideScratch.push_back(s);
         if (isCommonStride(s)) {
             if (!stream_allocated) {
                 allocStream(obs.addr, s);

@@ -53,6 +53,16 @@ class DDetPrefetcher : public Prefetcher
 
     const char *name() const override { return "d-det"; }
 
+    void
+    registerStats(stats::Group &g) override
+    {
+        Prefetcher::registerStats(g);
+        g.addScalar("streamsCreated", &streamsCreated,
+                "streams allocated");
+        g.addScalar("stridesPromoted", &stridesPromoted,
+                "strides promoted to the common-stride list");
+    }
+
     /** Streams allocated over the run. */
     stats::Scalar streamsCreated;
     /** Strides promoted to the common-stride list. */
@@ -113,6 +123,10 @@ class DDetPrefetcher : public Prefetcher
     std::vector<FreqEntry> _freq;
     std::vector<CommonEntry> _common;
     std::vector<Stream> _streams;
+    /** Strides already counted for the current observation (the miss
+     *  list may buffer one address twice; the repeated stride must not
+     *  be double-counted toward promotion). */
+    std::vector<std::int64_t> _strideScratch;
 };
 
 } // namespace psim

@@ -54,6 +54,13 @@ class IDetPrefetcher : public Prefetcher
 
     const char *name() const override { return "i-det"; }
 
+    void
+    registerStats(stats::Group &g) override
+    {
+        Prefetcher::registerStats(g);
+        _rpt.registerStats(g);
+    }
+
     /** Expose the table for tests and statistics. */
     Rpt &rpt() { return _rpt; }
     const Rpt &rpt() const { return _rpt; }

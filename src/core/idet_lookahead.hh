@@ -63,6 +63,13 @@ class IDetLookaheadPrefetcher : public Prefetcher
 
     const char *name() const override { return "i-det-la"; }
 
+    void
+    registerStats(stats::Group &g) override
+    {
+        Prefetcher::registerStats(g);
+        _rpt.registerStats(g);
+    }
+
     Rpt &rpt() { return _rpt; }
 
   private:

@@ -78,6 +78,17 @@ class Prefetcher
     /** Scheme name as used in the paper's figures. */
     virtual const char *name() const = 0;
 
+    /**
+     * Register the scheme's statistics into @p g (one group per node,
+     * owned by the machine's stats::Registry). Subclasses extend.
+     */
+    virtual void
+    registerStats(stats::Group &g)
+    {
+        g.addScalar("candidatesWrapped", &candidatesWrapped,
+                "candidates dropped for wrapping the address space");
+    }
+
     /** Candidates dropped because base + offset left the address space. */
     stats::Scalar candidatesWrapped;
 

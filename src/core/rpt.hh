@@ -84,6 +84,18 @@ class Rpt
 
     unsigned entries() const { return static_cast<unsigned>(_table.size()); }
 
+    /** Register the table's statistics into @p g. */
+    void
+    registerStats(stats::Group &g)
+    {
+        g.addScalar("rptAllocations", &allocations, "RPT entries allocated");
+        g.addScalar("rptConflicts", &conflicts,
+                "RPT entries evicted by PC conflicts");
+        g.addScalar("rptCorrect", &correct, "correct stride predictions");
+        g.addScalar("rptIncorrect", &incorrect,
+                "incorrect stride predictions");
+    }
+
     /** Entries allocated over the run. */
     stats::Scalar allocations;
     /** Entries evicted by PC conflicts. */

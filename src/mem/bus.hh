@@ -49,6 +49,19 @@ class Bus
     stats::Scalar transactions;
     stats::Scalar dataTransactions;
 
+    /** Register this bus's statistics into @p g. */
+    void
+    registerStats(stats::Group &g)
+    {
+        g.addScalar("transactions", &transactions, "bus transactions");
+        g.addScalar("dataTransactions", &dataTransactions,
+                "data-carrying transactions");
+        g.addScalar("busyTicks", &res.busyTicks,
+                "ticks the bus was occupied");
+        g.addScalar("waitTicks", &res.waitTicks,
+                "ticks requests queued for the bus");
+    }
+
   private:
     EventQueue &_eq;
     const MachineConfig &_cfg;

@@ -85,6 +85,18 @@ class Flc
     stats::Scalar writeMisses;
     stats::Scalar invalidations;
 
+    /** Register this cache's statistics into @p g. */
+    void
+    registerStats(stats::Group &g)
+    {
+        g.addScalar("reads", &reads, "read probes");
+        g.addScalar("readMisses", &readMisses, "read misses");
+        g.addScalar("writes", &writes, "write probes");
+        g.addScalar("writeMisses", &writeMisses, "write misses");
+        g.addScalar("invalidations", &invalidations,
+                "inclusion invalidations from the SLC");
+    }
+
   private:
     const MachineConfig &_cfg;
     CacheArray _array;

@@ -68,6 +68,35 @@ class MemCtrl
     stats::Scalar migratoryGrants;     ///< reads served exclusively
     stats::Scalar migratoryDemotions;  ///< read-only handoffs demoted
 
+    /**
+     * Register this controller's statistics (including the memory-side
+     * lock and barrier controllers it owns) into @p g.
+     */
+    void
+    registerStats(stats::Group &g)
+    {
+        g.addScalar("readReqs", &readReqs, "read requests");
+        g.addScalar("readExReqs", &readExReqs, "read-exclusive requests");
+        g.addScalar("upgradeReqs", &upgradeReqs, "upgrade requests");
+        g.addScalar("convertedUpgrades", &convertedUpgrades,
+                "upgrades serviced as read-exclusive");
+        g.addScalar("fetchesSent", &fetchesSent, "owner fetches sent");
+        g.addScalar("invalidationsSent", &invalidationsSent,
+                "invalidations sent");
+        g.addScalar("writebacksRecv", &writebacksRecv,
+                "writebacks received");
+        g.addScalar("queuedAtBusyEntry", &queuedAtBusyEntry,
+                "requests queued at busy directory entries");
+        g.addScalar("migratoryDetected", &migratoryDetected,
+                "blocks classified migratory");
+        g.addScalar("migratoryGrants", &migratoryGrants,
+                "reads granted exclusive copies");
+        g.addScalar("migratoryDemotions", &migratoryDemotions,
+                "read-only handoffs demoted");
+        _locks.registerStats(g);
+        _barrier.registerStats(g);
+    }
+
   private:
     struct DirEntry
     {

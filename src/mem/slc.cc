@@ -6,6 +6,7 @@
 #include "sim/logging.hh"
 #include "sys/cpu.hh"
 #include "sys/machine.hh"
+#include "trace/chrome_trace.hh"
 
 namespace psim
 {
@@ -52,6 +53,50 @@ bool
 Slc::hasPendingTransaction(Addr blk_addr) const
 {
     return _mshrs.count(blk_addr) != 0;
+}
+
+void
+Slc::registerStats(stats::Group &g)
+{
+    g.addScalar("demandReads", &demandReads,
+            "read requests presented by the FLC");
+    g.addScalar("demandReadMisses", &demandReadMisses,
+            "demand read misses");
+    g.addScalar("missesCold", &missesCold, "cold misses");
+    g.addScalar("missesCoherence", &missesCoherence, "coherence misses");
+    g.addScalar("missesReplacement", &missesReplacement,
+            "replacement misses");
+    g.addScalar("writeRequests", &writeRequests,
+            "write requests presented by the FLWB");
+    g.addScalar("writeMisses", &writeMisses,
+            "stores needing read-exclusive");
+    g.addScalar("upgrades", &upgrades, "stores needing S->M upgrade");
+    g.addScalar("writebacks", &writebacks, "dirty evictions");
+    g.addScalar("invalidationsRecv", &invalidationsRecv,
+            "invalidations received");
+    g.addScalar("pfIssued", &pfIssued, "prefetches issued");
+    g.addScalar("pfUsefulTagged", &pfUsefulTagged,
+            "demand hits on tagged blocks");
+    g.addScalar("pfUsefulLate", &pfUsefulLate,
+            "demand reads merged with in-flight prefetches");
+    g.addScalar("pfWriteHitTagged", &pfWriteHitTagged,
+            "store hits on tagged blocks");
+    g.addScalar("pfUselessInvalidated", &pfUselessInvalidated,
+            "tagged blocks lost to invalidations");
+    g.addScalar("pfUselessReplaced", &pfUselessReplaced,
+            "tagged blocks lost to replacement");
+    g.addScalar("pfAgedUnused", &pfAgedUnused,
+            "tagged blocks aged out of the feedback ring unused");
+    g.addScalar("pfUselessUnused", &pfUselessUnused,
+            "tagged blocks never referenced");
+    g.addScalar("pfDropInCache", &pfDropInCache,
+            "candidates already resident");
+    g.addScalar("pfDropPending", &pfDropPending,
+            "candidates matching a pending transaction");
+    g.addScalar("pfDropPageCross", &pfDropPageCross,
+            "candidates crossing the trigger's page");
+    g.addScalar("pfDropNoSlot", &pfDropNoSlot,
+            "candidates dropped for lack of an SLWB slot");
 }
 
 double
@@ -171,6 +216,10 @@ Slc::processRead(Addr addr, Pc pc)
                 _audit->onFate(blk_addr, audit::Fate::UsefulTagged,
                         audit::Event::TaggedReadHit, now);
             }
+            if (_chrome) {
+                _chrome->prefetchFate(_id, blk_addr,
+                        audit::Fate::UsefulTagged, now);
+            }
         }
         _array.touch(blk, now);
         _m.eq().scheduleIn(cfg.slcToCpuLat,
@@ -191,6 +240,10 @@ Slc::processRead(Addr addr, Pc pc)
                     _audit->onFate(blk_addr, audit::Fate::UsefulLate,
                             audit::Event::DemandMerge, now);
                 }
+                if (_chrome) {
+                    _chrome->prefetchFate(_id, blk_addr,
+                            audit::Fate::UsefulLate, now);
+                }
                 break;
               case Mshr::Kind::Write:
                 e->demandWaiting = true;
@@ -201,6 +254,8 @@ Slc::processRead(Addr addr, Pc pc)
             }
         } else {
             ++demandReadMisses;
+            if (_chrome)
+                _chrome->demandMissStart(_id, blk_addr, now);
             if (_characterizer)
                 _characterizer->observeMiss(pc, addr);
             classifyMiss(blk_addr);
@@ -259,6 +314,10 @@ Slc::processWrite(Addr addr, Pc pc)
             if (_audit) {
                 _audit->onFate(blk_addr, audit::Fate::WriteHit,
                         audit::Event::TaggedWriteHit, now);
+            }
+            if (_chrome) {
+                _chrome->prefetchFate(_id, blk_addr,
+                        audit::Fate::WriteHit, now);
             }
         }
         _array.touch(blk, now);
@@ -349,6 +408,8 @@ Slc::maybePrefetch(Addr trigger_addr, Pc pc,
         e.pc = pc;
         _mshrs.emplace(blk, e);
         ++pfIssued;
+        if (_chrome)
+            _chrome->prefetchIssue(_id, blk, _m.eq().now());
         if (_audit) {
             _audit->onIssue(blk, pc, _m.eq().now());
             _audit->checkSlwb(slwbOccupancy(), _slwbCap, true,
@@ -394,6 +455,10 @@ Slc::agePrefetches()
                 _audit->onFate(a, audit::Fate::AgedUnused,
                         audit::Event::AgedOut, _m.eq().now());
             }
+            if (_chrome) {
+                _chrome->prefetchFate(_id, a, audit::Fate::AgedUnused,
+                        _m.eq().now());
+            }
         }
     }
 }
@@ -427,6 +492,12 @@ Slc::invalidateBlock(CacheBlk *blk, bool replacement)
                                 : audit::Fate::Invalidated,
                     replacement ? audit::Event::Replaced
                                 : audit::Event::Invalidated,
+                    _m.eq().now());
+        }
+        if (_chrome) {
+            _chrome->prefetchFate(_id, blk->addr,
+                    replacement ? audit::Fate::Replaced
+                                : audit::Fate::Invalidated,
                     _m.eq().now());
         }
     }
@@ -485,6 +556,12 @@ Slc::handleFill(const Message &m, bool exclusive)
     _history.erase(blk_addr);
     if (_audit)
         _audit->onEvent(blk_addr, audit::Event::Fill, now);
+    if (_chrome) {
+        if (e->kind == Mshr::Kind::Read)
+            _chrome->demandMissEnd(_id, blk_addr, now);
+        else if (e->kind == Mshr::Kind::Prefetch)
+            _chrome->prefetchFill(_id, blk_addr, now);
+    }
 
     bool is_pure_prefetch =
             e->kind == Mshr::Kind::Prefetch && !e->demandWaiting;
@@ -524,6 +601,10 @@ Slc::handleFill(const Message &m, bool exclusive)
                     _audit->onFate(blk_addr, audit::Fate::WriteHit,
                             audit::Event::DeferredStoreHit, now);
                 }
+                if (_chrome) {
+                    _chrome->prefetchFate(_id, blk_addr,
+                            audit::Fate::WriteHit, now);
+                }
                 frame->prefetched = false;
             }
             frame->state = CohState::Modified;
@@ -541,6 +622,10 @@ Slc::handleFill(const Message &m, bool exclusive)
             if (_audit) {
                 _audit->onFate(blk_addr, audit::Fate::WriteHit,
                         audit::Event::DeferredStoreHit, now);
+            }
+            if (_chrome) {
+                _chrome->prefetchFate(_id, blk_addr,
+                        audit::Fate::WriteHit, now);
             }
         }
         frame->prefetched = false;
@@ -680,6 +765,10 @@ Slc::finalizeStats()
             if (_audit) {
                 _audit->onFate(blk.addr, audit::Fate::ResidentAtEnd,
                         audit::Event::EndOfRun, now);
+            }
+            if (_chrome) {
+                _chrome->prefetchFate(_id, blk.addr,
+                        audit::Fate::ResidentAtEnd, now);
             }
         }
     });

@@ -41,6 +41,7 @@ namespace psim
 class Machine;
 class Cpu;
 class Flc;
+class ChromeTracer;
 
 class Slc
 {
@@ -70,6 +71,12 @@ class Slc
         _traceSink = std::move(sink);
     }
 
+    /** Attach the chrome://tracing exporter (read-only observation). */
+    void setChromeTracer(ChromeTracer *t) { _chrome = t; }
+
+    /** Register this cache's statistics into @p g. */
+    void registerStats(stats::Group &g);
+
     /** Count still-tagged blocks as useless at end of simulation. */
     void finalizeStats();
 
@@ -85,6 +92,14 @@ class Slc
 
     bool hasPendingTransaction(Addr blk_addr) const;
     std::size_t pendingTransactions() const { return _mshrs.size(); }
+
+    /**
+     * Pending transactions occupying SLWB data-buffer slots. Write
+     * entries issued as upgrades await only an ownership ack and buffer
+     * no data, so they do not consume a slot. Public so the interval
+     * sampler can probe buffer occupancy over time.
+     */
+    std::size_t slwbOccupancy() const;
 
     const CacheArray &array() const { return _array; }
 
@@ -135,13 +150,6 @@ class Slc
     };
 
     /**
-     * Pending transactions occupying SLWB data-buffer slots. Write
-     * entries issued as upgrades await only an ownership ack and buffer
-     * no data, so they do not consume a slot.
-     */
-    std::size_t slwbOccupancy() const;
-
-    /**
      * Can a new transaction claim an SLWB slot? The reserve rule keeps
      * the last free slot for demand accesses: a demand allocation needs
      * one free slot, a prefetch allocation must leave one behind.
@@ -169,6 +177,7 @@ class Slc
     Flc &_flc;
     Cpu &_cpu;
     std::function<void(const TraceRecord &)> _traceSink;
+    ChromeTracer *_chrome = nullptr; ///< null when chrome tracing is off
     CacheArray _array;
     std::unique_ptr<Prefetcher> _prefetcher;
     StrideCharacterizer *_characterizer = nullptr;

@@ -85,6 +85,15 @@ class Flwb
     stats::Scalar retries;
     stats::Average occupancy;
 
+    /** Register this buffer's statistics into @p g. */
+    void
+    registerStats(stats::Group &g)
+    {
+        g.addScalar("pushes", &pushes, "entries enqueued");
+        g.addScalar("retries", &retries, "head retries (SLC refused)");
+        g.addAverage("occupancy", &occupancy, "entries after each push");
+    }
+
   private:
     void
     schedulePump(Tick delay)

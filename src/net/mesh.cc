@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "sim/logging.hh"
+#include "trace/chrome_trace.hh"
 
 namespace psim
 {
@@ -100,6 +101,8 @@ Mesh::send(NodeId src, NodeId dst, unsigned flits, DeliverFn deliver)
     ++messages;
     flitsInjected += static_cast<double>(flits);
     msgLatency.sample(static_cast<double>(arrival - now));
+    if (_chrome)
+        _chrome->meshMessage(src, dst, flits, now, arrival);
 
     _eq.schedule(arrival, std::move(deliver));
 }

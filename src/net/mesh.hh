@@ -26,6 +26,8 @@
 namespace psim
 {
 
+class ChromeTracer;
+
 class Mesh
 {
   public:
@@ -43,6 +45,18 @@ class Mesh
 
     /** Attach the audit layer (mesh message conservation). */
     void setAudit(audit::MachineAudit *a) { _audit = a; }
+
+    /** Attach the chrome://tracing exporter (read-only observation). */
+    void setChromeTracer(ChromeTracer *t) { _chrome = t; }
+
+    /** Register the mesh's statistics into @p g. */
+    void
+    registerStats(stats::Group &g)
+    {
+        g.addScalar("messages", &messages, "messages injected");
+        g.addScalar("flits", &flitsInjected, "flits injected");
+        g.addAverage("latency", &msgLatency, "in-network message latency");
+    }
 
     /** Hop count of the X-Y route between two nodes. */
     unsigned hops(NodeId src, NodeId dst) const;
@@ -81,6 +95,7 @@ class Mesh
     EventQueue &_eq;
     const MachineConfig &_cfg;
     audit::MachineAudit *_audit = nullptr; ///< null when auditing is off
+    ChromeTracer *_chrome = nullptr;       ///< null when tracing is off
     /** One Resource per (node, direction): N/E/S/W. */
     std::vector<Resource> _links;
 };

@@ -126,6 +126,15 @@ class LockCtrl
     stats::Scalar requests;
     stats::Scalar maxQueue;
 
+    /** Register this controller's statistics into @p g. */
+    void
+    registerStats(stats::Group &g)
+    {
+        g.addScalar("lockRequests", &requests, "lock requests received");
+        g.addScalar("lockMaxQueue", &maxQueue,
+                "deepest lock waiter queue observed");
+    }
+
   private:
     struct LockState
     {
@@ -175,6 +184,14 @@ class BarrierCtrl
     std::size_t pendingEpisodes() const { return _episodes.size(); }
 
     stats::Scalar episodes;
+
+    /** Register this controller's statistics into @p g. */
+    void
+    registerStats(stats::Group &g)
+    {
+        g.addScalar("barrierEpisodes", &episodes,
+                "barrier episodes completed");
+    }
 
   private:
     struct Episode

@@ -1,5 +1,7 @@
 #include "sim/stats.hh"
 
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 namespace psim::stats
@@ -67,6 +69,137 @@ Group::dump(std::ostream &os) const
                  static_cast<double>(weight), item.desc);
         }
     }
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no NaN/inf; absent value instead
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+Group::dumpJson(std::ostream &os) const
+{
+    os << "{\"name\":\"" << jsonEscape(_name) << "\",\"scalars\":[";
+    bool first = true;
+    for (const auto &item : _scalars) {
+        os << (first ? "" : ",") << "{\"name\":\"" << jsonEscape(item.name)
+           << "\",\"desc\":\"" << jsonEscape(item.desc)
+           << "\",\"value\":" << jsonNumber(item.stat->value()) << "}";
+        first = false;
+    }
+    os << "],\"averages\":[";
+    first = true;
+    for (const auto &item : _averages) {
+        os << (first ? "" : ",") << "{\"name\":\"" << jsonEscape(item.name)
+           << "\",\"desc\":\"" << jsonEscape(item.desc)
+           << "\",\"mean\":" << jsonNumber(item.stat->mean())
+           << ",\"sum\":" << jsonNumber(item.stat->sum())
+           << ",\"count\":" << item.stat->count()
+           << ",\"min\":" << jsonNumber(item.stat->min())
+           << ",\"max\":" << jsonNumber(item.stat->max()) << "}";
+        first = false;
+    }
+    os << "],\"histograms\":[";
+    first = true;
+    for (const auto &item : _histograms) {
+        os << (first ? "" : ",") << "{\"name\":\"" << jsonEscape(item.name)
+           << "\",\"desc\":\"" << jsonEscape(item.desc)
+           << "\",\"total\":" << item.stat->total() << ",\"buckets\":[";
+        bool bfirst = true;
+        for (const auto &[key, weight] : item.stat->buckets()) {
+            os << (bfirst ? "" : ",") << "{\"key\":" << key
+               << ",\"count\":" << weight << "}";
+            bfirst = false;
+        }
+        os << "]}";
+        first = false;
+    }
+    os << "]}";
+}
+
+const Scalar *
+Group::findScalar(const std::string &name) const
+{
+    for (const auto &item : _scalars) {
+        if (item.name == name)
+            return item.stat;
+    }
+    return nullptr;
+}
+
+Group &
+Registry::addGroup(const std::string &name)
+{
+    _groups.push_back(std::make_unique<Group>(name));
+    return *_groups.back();
+}
+
+const Group *
+Registry::find(const std::string &name) const
+{
+    for (const auto &g : _groups) {
+        if (g->name() == name)
+            return g.get();
+    }
+    return nullptr;
+}
+
+void
+Registry::dump(std::ostream &os) const
+{
+    for (const auto &g : _groups)
+        g->dump(os);
+}
+
+void
+Registry::dumpJson(std::ostream &os, const std::string &extra) const
+{
+    os << "{\"schema\":\"" << kSchemaId << "\",\"groups\":[";
+    bool first = true;
+    for (const auto &g : _groups) {
+        if (!first)
+            os << ",";
+        g->dumpJson(os);
+        first = false;
+    }
+    os << "]" << extra << "}\n";
 }
 
 } // namespace psim::stats

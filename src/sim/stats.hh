@@ -5,6 +5,12 @@
  * Statistics are registered in named groups; a group can dump itself as
  * aligned "name value # description" lines. Scalars, averages and
  * histograms cover everything the paper's evaluation reports.
+ *
+ * A process-wide view is provided by Registry: every component of a
+ * machine registers its group into the machine's registry, which can
+ * render the whole collection as the classic text dump or as a stable,
+ * machine-readable JSON document (schema id "psim-stats-v1", validated
+ * by scripts/check_stats_schema.py).
  */
 
 #ifndef PSIM_SIM_STATS_HH
@@ -12,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -140,6 +147,12 @@ class Group
     /** Render every registered statistic to @p os. */
     void dump(std::ostream &os) const;
 
+    /** Render this group as one JSON object (no trailing newline). */
+    void dumpJson(std::ostream &os) const;
+
+    /** Look up a registered scalar by name; nullptr when absent. */
+    const Scalar *findScalar(const std::string &name) const;
+
   private:
     template <typename T>
     struct Item
@@ -153,6 +166,55 @@ class Group
     std::vector<Item<Scalar>> _scalars;
     std::vector<Item<Average>> _averages;
     std::vector<Item<Histogram>> _histograms;
+};
+
+/** Escape @p s for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Render @p v as a JSON number ("null" for NaN/inf — JSON has neither). */
+std::string jsonNumber(double v);
+
+/**
+ * Owns every statistics Group of one machine. Components call
+ * addGroup() once at construction time and register their statistics
+ * into the returned group; the registry renders the whole collection
+ * in registration order, so dumps are deterministic.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Create (and own) a new group. The reference stays valid. */
+    Group &addGroup(const std::string &name);
+
+    /** Look up a group by name; nullptr when absent. */
+    const Group *find(const std::string &name) const;
+
+    const std::vector<std::unique_ptr<Group>> &groups() const
+    {
+        return _groups;
+    }
+
+    /** Classic aligned text dump of every group. */
+    void dump(std::ostream &os) const;
+
+    /**
+     * Stable JSON document:
+     *   {"schema":"psim-stats-v1","groups":[...]}
+     * @p extra, when non-empty, is spliced in verbatim as additional
+     * top-level members (must start with a comma) -- the machine uses
+     * it to append the interval-sampler time series.
+     */
+    void dumpJson(std::ostream &os, const std::string &extra = "") const;
+
+    /** The schema identifier embedded in every JSON document. */
+    static constexpr const char *kSchemaId = "psim-stats-v1";
+
+  private:
+    std::vector<std::unique_ptr<Group>> _groups;
 };
 
 } // namespace psim::stats

@@ -100,6 +100,22 @@ class Cpu
     /** Tick at which the thread finished. */
     stats::Scalar finishTick;
 
+    /** Register this processor's statistics into @p g. */
+    void
+    registerStats(stats::Group &g)
+    {
+        g.addScalar("loads", &loads, "loads issued");
+        g.addScalar("stores", &stores, "stores issued");
+        g.addScalar("locks", &locks, "lock acquires");
+        g.addScalar("barriers", &barriers, "barrier episodes");
+        g.addScalar("thinkTicks", &thinkTicks, "busy (non-memory) ticks");
+        g.addScalar("readStall", &readStall, "read stall ticks");
+        g.addScalar("lockStall", &lockStall, "lock stall ticks");
+        g.addScalar("barrierStall", &barrierStall, "barrier stall ticks");
+        g.addScalar("writeStall", &writeStall, "FLWB-full stall ticks");
+        g.addScalar("finishTick", &finishTick, "completion tick");
+    }
+
   private:
     enum class Pending : std::uint8_t
     {

@@ -1,8 +1,11 @@
 #include "sys/machine.hh"
 
 #include <map>
+#include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/sampler.hh"
+#include "trace/chrome_trace.hh"
 
 namespace psim
 {
@@ -23,6 +26,22 @@ Machine::Machine(MachineConfig cfg)
     _nodes.reserve(_cfg.numProcs);
     for (NodeId n = 0; n < _cfg.numProcs; ++n)
         _nodes.push_back(std::make_unique<Node>(*this, n));
+
+    // Every component registers its statistics group; registration
+    // order fixes the (deterministic) dump order.
+    for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+        Node &node = *_nodes[n];
+        std::string prefix = "node" + std::to_string(n);
+        node.cpu().registerStats(_registry.addGroup(prefix + ".cpu"));
+        node.flc().registerStats(_registry.addGroup(prefix + ".flc"));
+        node.flwb().registerStats(_registry.addGroup(prefix + ".flwb"));
+        node.bus().registerStats(_registry.addGroup(prefix + ".bus"));
+        node.slc().registerStats(_registry.addGroup(prefix + ".slc"));
+        node.slc().prefetcher().registerStats(
+                _registry.addGroup(prefix + ".pf"));
+        node.mem().registerStats(_registry.addGroup(prefix + ".mem"));
+    }
+    _mesh.registerStats(_registry.addGroup("mesh"));
 }
 
 Machine::~Machine() = default;
@@ -80,6 +99,47 @@ Machine::enableTracing(TraceWriter &writer)
     }
 }
 
+void
+Machine::enableSampling(Tick interval)
+{
+    psim_assert(!_ran, "sampling must attach before run()");
+    psim_assert(!_sampler, "sampling already enabled");
+    _sampler = std::make_unique<stats::Sampler>(_eq, interval);
+    for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+        Node *node = _nodes[n].get();
+        std::string prefix = "node" + std::to_string(n);
+        _sampler->addProbe(prefix + ".readMisses", [node] {
+            return node->slc().demandReadMisses.value();
+        });
+        _sampler->addProbe(prefix + ".pfIssued", [node] {
+            return node->slc().pfIssued.value();
+        });
+        _sampler->addProbe(prefix + ".pfUseful", [node] {
+            return node->slc().usefulPrefetches();
+        });
+        _sampler->addProbe(prefix + ".slwbOccupancy", [node] {
+            return static_cast<double>(node->slc().slwbOccupancy());
+        });
+        _sampler->addProbe(prefix + ".flwbOccupancy", [node] {
+            return static_cast<double>(node->flwb().size());
+        });
+    }
+    _sampler->addProbe("mesh.flits",
+            [this] { return _mesh.flitsInjected.value(); });
+    _sampler->start();
+}
+
+void
+Machine::enableChromeTrace(Tick start, Tick end)
+{
+    psim_assert(!_ran, "chrome tracing must attach before run()");
+    psim_assert(!_chrome, "chrome tracing already enabled");
+    _chrome = std::make_unique<ChromeTracer>(start, end);
+    for (auto &node : _nodes)
+        node->slc().setChromeTracer(_chrome.get());
+    _mesh.setChromeTracer(_chrome.get());
+}
+
 Tick
 Machine::run(Tick limit)
 {
@@ -134,90 +194,20 @@ Machine::metrics() const
 void
 Machine::dumpStats(std::ostream &os) const
 {
-    for (const auto &node : _nodes) {
-        std::string prefix = "node" + std::to_string(node->id());
-        const Cpu &cpu = node->cpu();
-        stats::Group cg(prefix + ".cpu");
-        cg.addScalar("loads", &cpu.loads, "loads issued");
-        cg.addScalar("stores", &cpu.stores, "stores issued");
-        cg.addScalar("locks", &cpu.locks, "lock acquires");
-        cg.addScalar("barriers", &cpu.barriers, "barrier episodes");
-        cg.addScalar("readStall", &cpu.readStall, "read stall ticks");
-        cg.addScalar("lockStall", &cpu.lockStall, "lock stall ticks");
-        cg.addScalar("barrierStall", &cpu.barrierStall,
-                "barrier stall ticks");
-        cg.addScalar("writeStall", &cpu.writeStall,
-                "FLWB-full stall ticks");
-        cg.addScalar("finishTick", &cpu.finishTick, "completion tick");
-        cg.dump(os);
+    _registry.dump(os);
+}
 
-        const Slc &slc = node->slc();
-        stats::Group sg(prefix + ".slc");
-        sg.addScalar("demandReads", &slc.demandReads,
-                "read requests presented by the FLC");
-        sg.addScalar("demandReadMisses", &slc.demandReadMisses,
-                "demand read misses");
-        sg.addScalar("missesCold", &slc.missesCold, "cold misses");
-        sg.addScalar("missesCoherence", &slc.missesCoherence,
-                "coherence misses");
-        sg.addScalar("missesReplacement", &slc.missesReplacement,
-                "replacement misses");
-        sg.addScalar("writebacks", &slc.writebacks, "dirty evictions");
-        sg.addScalar("pfIssued", &slc.pfIssued, "prefetches issued");
-        sg.addScalar("pfUsefulTagged", &slc.pfUsefulTagged,
-                "demand hits on tagged blocks");
-        sg.addScalar("pfUsefulLate", &slc.pfUsefulLate,
-                "demand reads merged with in-flight prefetches");
-        sg.addScalar("pfUselessInvalidated", &slc.pfUselessInvalidated,
-                "tagged blocks lost to invalidations");
-        sg.addScalar("pfUselessReplaced", &slc.pfUselessReplaced,
-                "tagged blocks lost to replacement");
-        sg.addScalar("pfAgedUnused", &slc.pfAgedUnused,
-                "tagged blocks aged out of the feedback ring unused");
-        sg.addScalar("pfUselessUnused", &slc.pfUselessUnused,
-                "tagged blocks never referenced");
-        sg.dump(os);
-
-        const MemCtrl &mem = node->mem();
-        stats::Group mg(prefix + ".mem");
-        mg.addScalar("readReqs", &mem.readReqs, "read requests");
-        mg.addScalar("readExReqs", &mem.readExReqs,
-                "read-exclusive requests");
-        mg.addScalar("upgradeReqs", &mem.upgradeReqs, "upgrade requests");
-        mg.addScalar("convertedUpgrades", &mem.convertedUpgrades,
-                "upgrades serviced as read-exclusive");
-        mg.addScalar("fetchesSent", &mem.fetchesSent,
-                "owner fetches sent");
-        mg.addScalar("invalidationsSent", &mem.invalidationsSent,
-                "invalidations sent");
-        mg.addScalar("writebacksRecv", &mem.writebacksRecv,
-                "writebacks received");
-        mg.addScalar("queuedAtBusyEntry", &mem.queuedAtBusyEntry,
-                "requests queued at busy directory entries");
-        mg.addScalar("migratoryDetected", &mem.migratoryDetected,
-                "blocks classified migratory");
-        mg.addScalar("migratoryGrants", &mem.migratoryGrants,
-                "reads granted exclusive copies");
-        mg.dump(os);
-
-        const Bus &bus = node->bus();
-        stats::Group bg(prefix + ".bus");
-        bg.addScalar("transactions", &bus.transactions,
-                "bus transactions");
-        bg.addScalar("dataTransactions", &bus.dataTransactions,
-                "data-carrying transactions");
-        bg.addScalar("busyTicks", &bus.res.busyTicks,
-                "ticks the bus was occupied");
-        bg.addScalar("waitTicks", &bus.res.waitTicks,
-                "ticks requests queued for the bus");
-        bg.dump(os);
+void
+Machine::dumpStatsJson(std::ostream &os) const
+{
+    std::string extra;
+    if (_sampler) {
+        std::ostringstream ss;
+        ss << ",\"samples\":";
+        _sampler->dumpJson(ss);
+        extra = ss.str();
     }
-    stats::Group ng("mesh");
-    ng.addScalar("messages", &_mesh.messages, "messages injected");
-    ng.addScalar("flits", &_mesh.flitsInjected, "flits injected");
-    ng.addAverage("latency", &_mesh.msgLatency,
-            "in-network message latency");
-    ng.dump(os);
+    _registry.dumpJson(os, extra);
 }
 
 void

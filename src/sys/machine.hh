@@ -22,12 +22,20 @@
 #include "sim/audit.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/stats.hh"
 #include "trace/trace.hh"
 #include "sys/node.hh"
 #include "sys/task.hh"
 
 namespace psim
 {
+
+class ChromeTracer;
+
+namespace stats
+{
+class Sampler;
+}
 
 /** The headline numbers of one simulation run (Figure 6 inputs). */
 struct RunMetrics
@@ -110,6 +118,31 @@ class Machine
     void enableTracing(TraceWriter &writer);
 
     /**
+     * Snapshot selected per-node scalars (read misses, prefetches
+     * issued/useful, SLWB/FLWB occupancy) and mesh flits every
+     * @p interval ticks; the series lands in the JSON stats dump (and
+     * dumps as CSV via sampler()). Read-only observation: aggregate
+     * statistics are byte-identical with sampling on or off. Call
+     * before run().
+     */
+    void enableSampling(Tick interval);
+
+    /** The interval sampler, or nullptr when sampling is off. */
+    stats::Sampler *sampler() { return _sampler.get(); }
+    const stats::Sampler *sampler() const { return _sampler.get(); }
+
+    /**
+     * Record demand-miss / prefetch-lifecycle / mesh-transit events in
+     * chrome://tracing form, windowed to ticks [start, end]. Read-only
+     * observation. Call before run().
+     */
+    void enableChromeTrace(Tick start = 0, Tick end = kTickNever);
+
+    /** The chrome trace recorder, or nullptr when tracing is off. */
+    ChromeTracer *chromeTracer() { return _chrome.get(); }
+    const ChromeTracer *chromeTracer() const { return _chrome.get(); }
+
+    /**
      * Start every bound thread and run the machine until all threads
      * finish (or @p limit ticks pass). @return final tick.
      */
@@ -120,8 +153,18 @@ class Machine
     /** Aggregate the paper's metrics over all nodes. */
     RunMetrics metrics() const;
 
-    /** Dump every statistics group. */
+    /** Every component's statistics group, in registration order. */
+    const stats::Registry &registry() const { return _registry; }
+
+    /** Dump every statistics group (classic aligned text form). */
     void dumpStats(std::ostream &os) const;
+
+    /**
+     * Dump every statistics group as the schema'd JSON document
+     * ("psim-stats-v1"), with the sampler's time series appended as a
+     * top-level "samples" member when sampling is enabled.
+     */
+    void dumpStatsJson(std::ostream &os) const;
 
     /**
      * Verify global coherence invariants (call when quiescent): at most
@@ -141,6 +184,10 @@ class Machine
     Mesh _mesh;
     std::vector<std::unique_ptr<Node>> _nodes;
     std::vector<std::unique_ptr<StrideCharacterizer>> _chars;
+    /** Built in the constructor, after the nodes exist. */
+    stats::Registry _registry;
+    std::unique_ptr<stats::Sampler> _sampler;
+    std::unique_ptr<ChromeTracer> _chrome;
     bool _ran = false;
 };
 

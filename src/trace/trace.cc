@@ -11,9 +11,20 @@ namespace
 {
 
 constexpr std::uint64_t kMagic = 0x505349'4d54524bULL; // "PSIMTRK"
-constexpr std::uint32_t kVersion = 1;
 
-/** Fixed 40-byte on-disk record. */
+/**
+ * Version 2: explicit little-endian field-by-field serialization.
+ * Version 1 wrote the structs below as raw host memory; trace.hh always
+ * documented "little-endian records", so v1 files were only correct on
+ * little-endian hosts. The v1 read path below preserves exactly that.
+ */
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kLegacyVersion = 1;
+
+constexpr std::size_t kHeaderBytes = 24;
+constexpr std::size_t kRecordBytes = 40;
+
+/** Fixed 40-byte on-disk record (v1 raw layout; v2 field order). */
 struct DiskRecord
 {
     std::uint64_t tick;
@@ -25,7 +36,7 @@ struct DiskRecord
     std::uint8_t pad[10];
 };
 
-static_assert(sizeof(DiskRecord) == 40, "trace record layout");
+static_assert(sizeof(DiskRecord) == kRecordBytes, "trace record layout");
 
 struct Header
 {
@@ -35,7 +46,58 @@ struct Header
     std::uint64_t count;
 };
 
-static_assert(sizeof(Header) == 24, "trace header layout");
+static_assert(sizeof(Header) == kHeaderBytes, "trace header layout");
+
+void
+putLe(unsigned char *p, std::uint64_t v, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint64_t
+getLe(const unsigned char *p, unsigned bytes)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+encodeHeader(unsigned char (&buf)[kHeaderBytes], std::uint64_t count)
+{
+    std::memset(buf, 0, sizeof(buf));
+    putLe(buf + 0, kMagic, 8);
+    putLe(buf + 8, kVersion, 4);
+    // bytes 12..15: reserved, zero
+    putLe(buf + 16, count, 8);
+}
+
+void
+encodeRecord(unsigned char (&buf)[kRecordBytes], const TraceRecord &rec)
+{
+    std::memset(buf, 0, sizeof(buf));
+    putLe(buf + 0, rec.tick, 8);
+    putLe(buf + 8, rec.pc, 8);
+    putLe(buf + 16, rec.addr, 8);
+    putLe(buf + 24, rec.node, 4);
+    buf[28] = static_cast<unsigned char>(rec.kind);
+    buf[29] = rec.hit ? 1 : 0;
+}
+
+TraceRecord
+decodeRecord(const unsigned char (&buf)[kRecordBytes])
+{
+    TraceRecord rec;
+    rec.tick = getLe(buf + 0, 8);
+    rec.pc = getLe(buf + 8, 8);
+    rec.addr = getLe(buf + 16, 8);
+    rec.node = static_cast<NodeId>(getLe(buf + 24, 4));
+    rec.kind = static_cast<TraceRecord::Kind>(buf[28]);
+    rec.hit = buf[29] != 0;
+    return rec;
+}
 
 } // namespace
 
@@ -44,8 +106,9 @@ TraceWriter::TraceWriter(const std::string &path)
 {
     if (!_out)
         psim_fatal("cannot open trace file '%s'", path.c_str());
-    Header h{kMagic, kVersion, 0, 0};
-    _out.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    unsigned char buf[kHeaderBytes];
+    encodeHeader(buf, 0);
+    _out.write(reinterpret_cast<const char *>(buf), sizeof(buf));
 }
 
 TraceWriter::~TraceWriter()
@@ -57,14 +120,9 @@ void
 TraceWriter::append(const TraceRecord &rec)
 {
     psim_assert(!_closed, "append to closed trace");
-    DiskRecord d{};
-    d.tick = rec.tick;
-    d.pc = rec.pc;
-    d.addr = rec.addr;
-    d.node = rec.node;
-    d.kind = static_cast<std::uint8_t>(rec.kind);
-    d.hit = rec.hit ? 1 : 0;
-    _out.write(reinterpret_cast<const char *>(&d), sizeof(d));
+    unsigned char buf[kRecordBytes];
+    encodeRecord(buf, rec);
+    _out.write(reinterpret_cast<const char *>(buf), sizeof(buf));
     ++_count;
 }
 
@@ -74,24 +132,69 @@ TraceWriter::close()
     if (_closed)
         return;
     _closed = true;
-    Header h{kMagic, kVersion, 0, _count};
+    // The stream's error state is sticky, so this single check covers
+    // every append() so far; a short write must not produce a file that
+    // silently reads back with fewer records than were captured.
+    if (!_out)
+        psim_fatal("trace write failed before close (disk full?)");
+    unsigned char buf[kHeaderBytes];
+    encodeHeader(buf, _count);
     _out.seekp(0);
-    _out.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    _out.write(reinterpret_cast<const char *>(buf), sizeof(buf));
     _out.flush();
+    if (!_out)
+        psim_fatal("trace close failed: header count not durable");
 }
 
-TraceReader::TraceReader(const std::string &path)
+TraceReader::TraceReader(const std::string &path, bool salvage)
     : _in(path, std::ios::binary)
 {
     if (!_in)
         psim_fatal("cannot open trace file '%s'", path.c_str());
-    Header h{};
-    _in.read(reinterpret_cast<char *>(&h), sizeof(h));
-    if (!_in || h.magic != kMagic)
+
+    _in.seekg(0, std::ios::end);
+    const std::uint64_t file_size =
+            static_cast<std::uint64_t>(_in.tellg());
+    _in.seekg(0);
+
+    unsigned char buf[kHeaderBytes];
+    _in.read(reinterpret_cast<char *>(buf), sizeof(buf));
+    if (!_in || getLe(buf + 0, 8) != kMagic)
         psim_fatal("'%s' is not a psim trace", path.c_str());
-    if (h.version != kVersion)
-        psim_fatal("trace version %u unsupported", h.version);
-    _count = h.count;
+    _version = static_cast<std::uint32_t>(getLe(buf + 8, 4));
+    if (_version != kVersion && _version != kLegacyVersion)
+        psim_fatal("trace version %u unsupported", _version);
+    if (_version == kLegacyVersion) {
+        // v1 wrote raw host structs; only correct on little-endian
+        // hosts, which is where every v1 file was produced. The layout
+        // then matches v2 byte-for-byte, so decoding is shared.
+        std::uint32_t one = 1;
+        unsigned char lsb;
+        std::memcpy(&lsb, &one, 1);
+        if (lsb != 1) {
+            psim_fatal("trace '%s' is version 1 (host-endian); "
+                       "re-capture with this build for a portable v2 "
+                       "trace", path.c_str());
+        }
+    }
+    _count = getLe(buf + 16, 8);
+
+    const std::uint64_t body = file_size - kHeaderBytes;
+    if (salvage) {
+        // Recover the count from the file length; a torn trailing
+        // record (writer killed mid-write) is dropped.
+        _count = body / kRecordBytes;
+        return;
+    }
+    if (_count * kRecordBytes != body) {
+        psim_fatal("trace '%s' is corrupt: header records %llu entries "
+                   "but the file holds %llu (%s); "
+                   "use trace_tool --salvage to recover",
+                   path.c_str(), (unsigned long long)_count,
+                   (unsigned long long)(body / kRecordBytes),
+                   _count == 0 ? "writer died before close()"
+                               : "truncated capture");
+    }
 }
 
 bool
@@ -99,24 +202,19 @@ TraceReader::next(TraceRecord &rec)
 {
     if (_read >= _count)
         return false;
-    DiskRecord d{};
-    _in.read(reinterpret_cast<char *>(&d), sizeof(d));
+    unsigned char buf[kRecordBytes];
+    _in.read(reinterpret_cast<char *>(buf), sizeof(buf));
     if (!_in)
         return false;
-    rec.tick = d.tick;
-    rec.pc = d.pc;
-    rec.addr = d.addr;
-    rec.node = d.node;
-    rec.kind = static_cast<TraceRecord::Kind>(d.kind);
-    rec.hit = d.hit != 0;
+    rec = decodeRecord(buf);
     ++_read;
     return true;
 }
 
 std::vector<TraceRecord>
-TraceReader::readAll(const std::string &path)
+TraceReader::readAll(const std::string &path, bool salvage)
 {
-    TraceReader reader(path);
+    TraceReader reader(path, salvage);
     std::vector<TraceRecord> out;
     out.reserve(reader.count());
     TraceRecord rec;

@@ -8,8 +8,21 @@
  * to any captured run (see tools/trace_tool.cc) and runs can be
  * archived and diffed.
  *
- * On-disk format: a 16-byte header (magic, version, record count)
- * followed by fixed-size little-endian records.
+ * On-disk format (version 2): a 24-byte header -- magic (8 bytes),
+ * version (4), reserved (4), record count (8) -- followed by fixed
+ * 40-byte records: tick (8), pc (8), addr (8), node (4), kind (1),
+ * hit (1), 10 bytes of zero padding. Every field is serialized
+ * explicitly in little-endian byte order, so captures are portable
+ * across hosts and archivable. Version-1 files (written as raw
+ * host-endian structs by older builds) are still readable on
+ * little-endian hosts via a compatibility path behind the version
+ * check.
+ *
+ * The header's record count is written by TraceWriter::close(); a
+ * reader cross-checks it against the actual file size and fails loudly
+ * on a mismatch (a writer that died before close() leaves count == 0),
+ * instead of silently returning an empty trace. `trace_tool --salvage`
+ * recovers such captures from the file length.
  */
 
 #ifndef PSIM_TRACE_TRACE_HH
@@ -75,20 +88,30 @@ class TraceWriter
 class TraceReader
 {
   public:
-    explicit TraceReader(const std::string &path);
+    /**
+     * Open @p path and validate header magic, version and the record
+     * count against the file size; any mismatch (truncation, a writer
+     * that died before close()) is fatal. With @p salvage the count is
+     * recovered from the file length instead, so unclosed captures can
+     * still be analyzed (a partial trailing record is dropped).
+     */
+    explicit TraceReader(const std::string &path, bool salvage = false);
 
     /** @return false at end of trace. */
     bool next(TraceRecord &rec);
 
     std::uint64_t count() const { return _count; }
+    std::uint32_t version() const { return _version; }
 
     /** Convenience: read a whole file into memory. */
-    static std::vector<TraceRecord> readAll(const std::string &path);
+    static std::vector<TraceRecord> readAll(const std::string &path,
+                                            bool salvage = false);
 
   private:
     std::ifstream _in;
     std::uint64_t _count = 0;
     std::uint64_t _read = 0;
+    std::uint32_t _version = 0;
 };
 
 } // namespace psim

@@ -81,6 +81,47 @@ TEST(DDet, TwoMoreMissesCreateStreamAndPrefetch)
     EXPECT_EQ(out[0], 1256u + 64u);
 }
 
+TEST(DDet, DuplicateBufferedAddressDoesNotDoubleCountStrides)
+{
+    auto p = make();
+    // A repeated miss to one address (e.g. after an invalidation) sits
+    // in the miss list twice. Pairing a later miss against both copies
+    // yields the same stride twice; counting it twice per observation
+    // promoted the stride one miss early (three real sequence misses
+    // instead of the paper's four: promotion at 1128, not 1192).
+    miss(p, 1000);
+    miss(p, 1000); // duplicate: stride 0 vs itself, buffered twice
+    miss(p, 1064); // stride 64 vs both 1000s — must count once
+    miss(p, 1128); // stride 64 again (count 2): NOT yet common
+    EXPECT_FALSE(p.isCommonStride(64));
+    EXPECT_EQ(p.numStreams(), 0u);
+    miss(p, 1192); // third distinct observation of 64: promoted
+    EXPECT_TRUE(p.isCommonStride(64));
+    EXPECT_DOUBLE_EQ(p.stridesPromoted.value(), 1.0);
+    // The paper's "two additional misses": 1192 promoted the stride,
+    // 1256 pairs at the now-common stride and starts the stream.
+    auto out = miss(p, 1256);
+    EXPECT_EQ(p.numStreams(), 1u);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], 1256u + 64u);
+}
+
+TEST(DDet, PromotionDuringAnObservationDoesNotAllocateAStream)
+{
+    auto p = make();
+    // The stride's common/frequency classification is decided before
+    // any counting for the observation: the miss that promotes a
+    // stride must not also allocate a stream from a later pair in the
+    // same observation.
+    miss(p, 1000);
+    miss(p, 1064);
+    miss(p, 1128);
+    auto out = miss(p, 1192); // promotes 64; no stream yet
+    EXPECT_TRUE(p.isCommonStride(64));
+    EXPECT_EQ(p.numStreams(), 0u);
+    EXPECT_TRUE(out.empty());
+}
+
 TEST(DDet, TaggedHitAdvancesStream)
 {
     auto p = make();

@@ -6,7 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
 #include <map>
+#include <random>
 #include <string>
 
 #include "apps/driver.hh"
@@ -21,6 +25,22 @@ std::string
 tmpPath(const char *name)
 {
     return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFileBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
 }
 
 } // namespace
@@ -131,6 +151,118 @@ TEST(Trace, CapturesAFullWorkloadRun)
     std::remove(path.c_str());
 }
 
+// Property test: any record round-trips bit-exactly through the
+// little-endian v2 serialization (seeded, so failures reproduce).
+TEST(Trace, RoundTripsRandomRecords)
+{
+    std::string path = tmpPath("random.psimtrace");
+    std::mt19937_64 rng(0xC0FFEEULL);
+    std::vector<TraceRecord> in;
+    for (int i = 0; i < 4096; ++i) {
+        TraceRecord r;
+        r.tick = rng();
+        r.pc = rng();
+        r.addr = rng();
+        r.node = static_cast<NodeId>(rng() & 0xFFFFFFFFu);
+        r.kind = rng() & 1 ? TraceRecord::Kind::Read
+                           : TraceRecord::Kind::Write;
+        r.hit = rng() & 1;
+        in.push_back(r);
+    }
+    {
+        TraceWriter w(path);
+        for (const auto &r : in)
+            w.append(r);
+        w.close();
+    }
+    auto out = TraceReader::readAll(path);
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        ASSERT_TRUE(out[i] == in[i]) << "record " << i;
+    std::remove(path.c_str());
+}
+
+// Golden-bytes fixture: the v2 encoding of one known record, written
+// out byte by byte. If serialization ever silently changes (field
+// order, width, endianness), this fails on every host — including the
+// little-endian ones where a host-endian bug would otherwise hide.
+TEST(Trace, GoldenBytesMatchTheDocumentedFormat)
+{
+    std::string path = tmpPath("golden.psimtrace");
+    TraceRecord r;
+    r.tick = 0x0102030405060708ULL;
+    r.pc = 0x1112131415161718ULL;
+    r.addr = 0x2122232425262728ULL;
+    r.node = 0x31323334u;
+    r.kind = TraceRecord::Kind::Write;
+    r.hit = true;
+    {
+        TraceWriter w(path);
+        w.append(r);
+        w.close();
+    }
+
+    const unsigned char expected[64] = {
+        // header: magic "KRTMISP\0" = 0x505349'4d54524b little-endian
+        0x4b, 0x52, 0x54, 0x4d, 0x49, 0x53, 0x50, 0x00,
+        0x02, 0x00, 0x00, 0x00,             // version 2
+        0x00, 0x00, 0x00, 0x00,             // reserved
+        0x01, 0, 0, 0, 0, 0, 0, 0,          // count 1
+        // record: tick, pc, addr (8 bytes each, little-endian)
+        0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+        0x18, 0x17, 0x16, 0x15, 0x14, 0x13, 0x12, 0x11,
+        0x28, 0x27, 0x26, 0x25, 0x24, 0x23, 0x22, 0x21,
+        0x34, 0x33, 0x32, 0x31,             // node
+        0x01,                               // kind = Write
+        0x01,                               // hit
+        0, 0, 0, 0, 0, 0, 0, 0, 0, 0,       // padding
+    };
+    std::string bytes = readFileBytes(path);
+    ASSERT_EQ(bytes.size(), sizeof(expected));
+    EXPECT_EQ(std::memcmp(bytes.data(), expected, sizeof(expected)), 0);
+
+    TraceReader reader(path);
+    EXPECT_EQ(reader.version(), 2u);
+    TraceRecord back;
+    ASSERT_TRUE(reader.next(back));
+    EXPECT_TRUE(back == r);
+    std::remove(path.c_str());
+}
+
+// Version-1 compatibility: v1 files were raw little-endian structs with
+// the same layout, so the reader must still accept them (this build
+// only writes v2).
+TEST(Trace, ReadsVersion1Files)
+{
+    std::string path = tmpPath("v1.psimtrace");
+    std::string bytes = readFileBytes([&] {
+        std::string tmp = tmpPath("v1src.psimtrace");
+        TraceWriter w(tmp);
+        TraceRecord r;
+        r.tick = 77;
+        r.pc = 0xAB;
+        r.addr = 0x1000;
+        r.node = 3;
+        r.kind = TraceRecord::Kind::Read;
+        r.hit = false;
+        w.append(r);
+        w.close();
+        return tmp;
+    }());
+    bytes[8] = 1; // patch the version field down to 1
+    writeFileBytes(path, bytes);
+
+    TraceReader reader(path);
+    EXPECT_EQ(reader.version(), 1u);
+    TraceRecord back;
+    ASSERT_TRUE(reader.next(back));
+    EXPECT_EQ(back.tick, 77u);
+    EXPECT_EQ(back.addr, 0x1000u);
+    EXPECT_EQ(back.node, 3u);
+    std::remove(path.c_str());
+    std::remove(tmpPath("v1src.psimtrace").c_str());
+}
+
 TEST(TraceDeath, MissingFileIsFatal)
 {
     EXPECT_EXIT(TraceReader r("/nonexistent/file.trace"),
@@ -146,5 +278,70 @@ TEST(TraceDeath, GarbageFileIsFatal)
     }
     EXPECT_EXIT(TraceReader r(path), ::testing::ExitedWithCode(1),
             "not a psim trace");
+    std::remove(path.c_str());
+}
+
+namespace
+{
+
+/** A closed 10-record capture, returned as raw bytes. */
+std::string
+captureBytes(const char *name)
+{
+    std::string path = tmpPath(name);
+    {
+        TraceWriter w(path);
+        for (int i = 0; i < 10; ++i) {
+            TraceRecord r;
+            r.tick = static_cast<Tick>(i);
+            r.addr = 0x1000u + 32u * static_cast<Addr>(i);
+            w.append(r);
+        }
+        w.close();
+    }
+    std::string bytes = readFileBytes(path);
+    std::remove(path.c_str());
+    return bytes;
+}
+
+} // namespace
+
+TEST(TraceDeath, TruncatedCaptureIsFatal)
+{
+    std::string path = tmpPath("truncated.psimtrace");
+    std::string bytes = captureBytes("truncated-src.psimtrace");
+    writeFileBytes(path, bytes.substr(0, bytes.size() - 25));
+    EXPECT_EXIT(TraceReader r(path), ::testing::ExitedWithCode(1),
+            "truncated capture");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeath, UnclosedCaptureIsFatal)
+{
+    // A writer that died before close() leaves header count == 0 with a
+    // non-empty body; that must not read back as an empty trace.
+    std::string path = tmpPath("unclosed.psimtrace");
+    std::string bytes = captureBytes("unclosed-src.psimtrace");
+    for (int i = 16; i < 24; ++i)
+        bytes[i] = 0;
+    writeFileBytes(path, bytes);
+    EXPECT_EXIT(TraceReader r(path), ::testing::ExitedWithCode(1),
+            "writer died before close");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, SalvageRecoversUnclosedCapture)
+{
+    std::string path = tmpPath("salvage.psimtrace");
+    std::string bytes = captureBytes("salvage-src.psimtrace");
+    for (int i = 16; i < 24; ++i)
+        bytes[i] = 0;
+    // Also tear the last record in half (writer killed mid-write).
+    writeFileBytes(path, bytes.substr(0, bytes.size() - 20));
+
+    auto records = TraceReader::readAll(path, /*salvage=*/true);
+    ASSERT_EQ(records.size(), 9u); // the torn 10th record is dropped
+    for (std::size_t i = 0; i < records.size(); ++i)
+        EXPECT_EQ(records[i].addr, 0x1000u + 32u * i);
     std::remove(path.c_str());
 }

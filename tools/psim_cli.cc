@@ -17,14 +17,26 @@
  *     --stats            dump per-node statistics
  *     --characterize     print Table-2 style characteristics (node 0)
  *     --trace FILE       write the SLC reference trace to FILE
+ *
+ * plus the shared observability flags (paths used verbatim here):
+ *     --stats-json FILE      schema'd JSON statistics dump
+ *     --sample-interval N    sample scalars every N ticks
+ *     --sample-csv FILE      sampler time series as CSV
+ *     --chrome-trace FILE    chrome://tracing event file
+ *     --chrome-window A:B    restrict chrome-trace recording to [A, B]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+
+#include "sim/logging.hh"
+#include "sim/sampler.hh"
+#include "trace/chrome_trace.hh"
 
 #include "apps/driver.hh"
 #include "trace/trace.hh"
@@ -41,8 +53,25 @@ usage(const char *argv0)
             "usage: %s [--workload NAME] [--scheme NAME] [--degree N]\n"
             "          [--procs N] [--slc BYTES] [--block BYTES]\n"
             "          [--scale N] [--seed N] [--stats]\n"
-            "          [--characterize] [--trace FILE]\n", argv0);
+            "          [--characterize] [--trace FILE]\n"
+            "          [--stats-json FILE] [--sample-interval N]\n"
+            "          [--sample-csv FILE] [--chrome-trace FILE]\n"
+            "          [--chrome-window A:B]\n", argv0);
     std::exit(2);
+}
+
+/** Open @p path for writing and stream @p emit into it (fatal on error). */
+template <typename Emit>
+void
+writeFile(const std::string &path, Emit emit)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        psim_fatal("cannot write %s", path.c_str());
+    emit(out);
+    out.flush();
+    if (!out)
+        psim_fatal("write to %s failed", path.c_str());
 }
 
 } // namespace
@@ -56,6 +85,7 @@ main(int argc, char **argv)
     bool characterize = false;
     MachineConfig cfg;
     apps::RunOptions opts;
+    apps::ObservabilityOptions obs;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -64,7 +94,9 @@ main(int argc, char **argv)
                 usage(argv[0]);
             return argv[++i];
         };
-        if (arg == "--workload") {
+        if (obs.parseArg(argc, argv, &i)) {
+            // consumed an observability flag
+        } else if (arg == "--workload") {
             workload = value();
         } else if (arg == "--scheme") {
             cfg.prefetch.scheme = parseScheme(value());
@@ -97,6 +129,7 @@ main(int argc, char **argv)
     }
 
     opts.characterize = characterize;
+    obs.apply(opts, ""); // single run: prefixes are used verbatim
 
     // Tracing has to attach before the run, so drive the pieces that
     // runWorkload() would otherwise wrap.
@@ -109,6 +142,10 @@ main(int argc, char **argv)
     }
     if (characterize)
         machine->enableCharacterizers();
+    if (opts.sampleInterval > 0)
+        machine->enableSampling(opts.sampleInterval);
+    if (!opts.chromeTracePath.empty())
+        machine->enableChromeTrace(opts.chromeStart, opts.chromeEnd);
     wl->attach(*machine);
     machine->run();
     if (!machine->allFinished()) {
@@ -163,6 +200,21 @@ main(int argc, char **argv)
     if (dump_stats) {
         std::printf("\n");
         machine->dumpStats(std::cout);
+    }
+    if (!opts.statsJsonPath.empty()) {
+        writeFile(opts.statsJsonPath, [&](std::ostream &os) {
+            machine->dumpStatsJson(os);
+        });
+    }
+    if (!opts.sampleCsvPath.empty()) {
+        writeFile(opts.sampleCsvPath, [&](std::ostream &os) {
+            machine->sampler()->dumpCsv(os);
+        });
+    }
+    if (!opts.chromeTracePath.empty()) {
+        writeFile(opts.chromeTracePath, [&](std::ostream &os) {
+            machine->chromeTracer()->write(os);
+        });
     }
     return verified ? 0 : 1;
 }

@@ -4,16 +4,25 @@
  * a captured reference trace (see psim_cli --trace).
  *
  * Usage:
- *   trace_tool FILE [--node N]
+ *   trace_tool FILE [--node N] [--salvage]
+ *   trace_tool stats FILE [--salvage]
  *
- * Prints trace summary statistics, the Table-2 stride characterization
- * of the selected node's read-miss stream, and the candidate-coverage
- * of each prefetching scheme replayed over that stream.
+ * The default mode prints trace summary statistics, the Table-2 stride
+ * characterization of the selected node's read-miss stream, and the
+ * candidate-coverage of each prefetching scheme replayed over that
+ * stream. The `stats` subcommand aggregates the trace into the same
+ * schema'd JSON document the simulator emits (--stats-json), so the
+ * downstream tooling can consume either source.
+ *
+ * `--salvage` recovers records from a capture whose writer died before
+ * close() (the header still says 0 records); without it such files are
+ * rejected loudly.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <string>
 
@@ -21,25 +30,115 @@
 #include "core/ddet.hh"
 #include "core/idet.hh"
 #include "core/sequential.hh"
+#include "sim/stats.hh"
 #include "trace/trace.hh"
 
 using namespace psim;
 
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+            "usage: %s FILE [--node N] [--salvage]\n"
+            "       %s stats FILE [--salvage]\n", argv0, argv0);
+    std::exit(2);
+}
+
+/**
+ * `trace_tool stats`: aggregate a trace into the simulator's JSON stats
+ * schema. The "trace" group carries whole-file counts; each node that
+ * appears in the trace gets a "nodeN.trace" group.
+ */
+int
+statsCommand(const std::string &path, bool salvage)
+{
+    auto records = TraceReader::readAll(path, salvage);
+
+    struct NodeCounts
+    {
+        stats::Scalar reads, readMisses, writes;
+    };
+    // std::map: nodes render in ascending id order, and inserting new
+    // nodes never invalidates the pointers already registered.
+    std::map<NodeId, NodeCounts> nodes;
+    stats::Scalar total, reads, readMisses, writes;
+    Tick first = 0, last = 0;
+    for (const auto &rec : records) {
+        if (total.value() == 0 || rec.tick < first)
+            first = rec.tick;
+        if (rec.tick > last)
+            last = rec.tick;
+        ++total;
+        NodeCounts &nc = nodes[rec.node];
+        if (rec.kind == TraceRecord::Kind::Read) {
+            ++reads;
+            ++nc.reads;
+            if (!rec.hit) {
+                ++readMisses;
+                ++nc.readMisses;
+            }
+        } else {
+            ++writes;
+            ++nc.writes;
+        }
+    }
+
+    stats::Scalar first_tick, last_tick, node_count;
+    first_tick = static_cast<double>(first);
+    last_tick = static_cast<double>(last);
+    node_count = static_cast<double>(nodes.size());
+
+    stats::Registry registry;
+    stats::Group &g = registry.addGroup("trace");
+    g.addScalar("records", &total, "records in the trace");
+    g.addScalar("reads", &reads, "SLC read probes");
+    g.addScalar("readMisses", &readMisses, "SLC read misses");
+    g.addScalar("writes", &writes, "SLC write probes");
+    g.addScalar("nodes", &node_count, "distinct nodes in the trace");
+    g.addScalar("firstTick", &first_tick, "tick of the first record");
+    g.addScalar("lastTick", &last_tick, "tick of the last record");
+    for (auto &[id, nc] : nodes) {
+        stats::Group &ng = registry.addGroup(
+                "node" + std::to_string(id) + ".trace");
+        ng.addScalar("reads", &nc.reads, "SLC read probes");
+        ng.addScalar("readMisses", &nc.readMisses, "SLC read misses");
+        ng.addScalar("writes", &nc.writes, "SLC write probes");
+    }
+    registry.dumpJson(std::cout);
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr, "usage: %s FILE [--node N]\n", argv[0]);
-        return 2;
-    }
-    std::string path = argv[1];
+    if (argc < 2)
+        usage(argv[0]);
+
+    bool stats_mode = std::strcmp(argv[1], "stats") == 0;
+    int first_arg = stats_mode ? 2 : 1;
+    if (first_arg >= argc)
+        usage(argv[0]);
+    std::string path = argv[first_arg];
     NodeId node = 0;
-    for (int i = 2; i < argc; ++i) {
+    bool salvage = false;
+    for (int i = first_arg + 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--node") == 0 && i + 1 < argc)
             node = static_cast<NodeId>(atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--salvage") == 0)
+            salvage = true;
+        else
+            usage(argv[0]);
     }
 
-    auto records = TraceReader::readAll(path);
+    if (stats_mode)
+        return statsCommand(path, salvage);
+
+    auto records = TraceReader::readAll(path, salvage);
     std::printf("%s: %zu records\n", path.c_str(), records.size());
 
     std::map<NodeId, std::uint64_t> per_node;
