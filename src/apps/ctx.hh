@@ -18,8 +18,10 @@
 #define PSIM_APPS_CTX_HH
 
 #include <coroutine>
+#include <cstring>
 #include <source_location>
 
+#include "check/access_log.hh"
 #include "mem/backing_store.hh"
 #include "sim/random.hh"
 #include "sys/cpu.hh"
@@ -79,7 +81,11 @@ class ThreadCtx
             ctx._cpu.issueLoad(addr, pc, h);
         }
 
-        T await_resume() const { return ctx.store().load<T>(addr); }
+        T
+        await_resume() const
+        {
+            return ctx.commitLoad<T>(addr, ctx.store().load<T>(addr));
+        }
     };
 
     struct WriteOp
@@ -180,7 +186,17 @@ class ThreadCtx
           const std::source_location &loc =
                   std::source_location::current())
     {
-        store().store<T>(addr, value);
+        bool drop = false;
+#ifdef PSIM_TEST_HOOKS
+        const TestHooks &hooks = _m.cfg().testHooks;
+        if (hooks.dropStorePeriod &&
+            ++_storesCommitted % hooks.dropStorePeriod == 0)
+            drop = true;
+#endif
+        if (!drop)
+            store().store<T>(addr, value);
+        record(check::AccessRecord::Kind::Write, addr, &value,
+               sizeof(T));
         return WriteOp{*this, addr, pcOf(loc)};
     }
 
@@ -201,11 +217,56 @@ class ThreadCtx
     ThinkOp think(Tick cycles) { return ThinkOp{*this, cycles}; }
 
   private:
+    /**
+     * The value-commit point of a load: the value the coroutine is
+     * about to consume. Applies the corrupt-read fault hook (so the
+     * program really computes with the corrupted value, exactly like a
+     * broken machine would) and then records what was consumed.
+     */
+    template <typename T>
+    T
+    commitLoad(Addr addr, T v)
+    {
+#ifdef PSIM_TEST_HOOKS
+        const TestHooks &hooks = _m.cfg().testHooks;
+        if (hooks.corruptReadPeriod &&
+            ++_loadsCommitted % hooks.corruptReadPeriod == 0) {
+            auto *bytes = reinterpret_cast<std::uint8_t *>(&v);
+            bytes[0] ^= 0x01;
+        }
+#endif
+        record(check::AccessRecord::Kind::Read, addr, &v, sizeof(T));
+        return v;
+    }
+
+    /** Stream one committed access into the machine's commit sink. */
+    void
+    record(check::AccessRecord::Kind kind, Addr addr, const void *value,
+           std::size_t len)
+    {
+        check::CommitSink *sink = _m.commitSink();
+        if (!sink)
+            return;
+        psim_assert(len <= sizeof(check::AccessRecord::value),
+                "access wider than an AccessRecord value");
+        check::AccessRecord rec;
+        rec.tick = _m.eq().now();
+        rec.node = _tid;
+        rec.kind = kind;
+        rec.len = static_cast<std::uint8_t>(len);
+        rec.addr = addr;
+        std::memcpy(rec.value, value, len);
+        sink->onAccess(rec);
+    }
+
     Machine &_m;
     Cpu &_cpu;
     NodeId _tid;
     unsigned _nthreads;
     Rng _rng;
+    /** Fault-hook opportunity counters (see MachineConfig::TestHooks). */
+    std::uint64_t _loadsCommitted = 0;
+    std::uint64_t _storesCommitted = 0;
 };
 
 } // namespace psim::apps

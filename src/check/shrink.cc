@@ -1,0 +1,81 @@
+#include "check/shrink.hh"
+
+namespace psim::check
+{
+
+namespace
+{
+
+/** All one-step simplifications of @p spec, simplest-first. */
+std::vector<ProgramSpec>
+candidates(const ProgramSpec &spec)
+{
+    std::vector<ProgramSpec> out;
+
+    // 1. Disable one phase (keep at least one enabled).
+    if (spec.enabledPhases() > 1) {
+        for (std::size_t p = 0; p < spec.phases.size(); ++p) {
+            if (!spec.phases[p].enabled)
+                continue;
+            ProgramSpec c = spec;
+            c.phases[p].enabled = false;
+            out.push_back(std::move(c));
+        }
+    }
+
+    // 2. Halve the thread count (machine shrinks with it).
+    if (spec.threads > 2) {
+        ProgramSpec c = spec;
+        c.threads /= 2;
+        out.push_back(std::move(c));
+    }
+
+    // 3. Halve one phase's iteration count.
+    for (std::size_t p = 0; p < spec.phases.size(); ++p) {
+        if (!spec.phases[p].enabled || spec.phases[p].iters <= 4)
+            continue;
+        ProgramSpec c = spec;
+        c.phases[p].iters /= 2;
+        out.push_back(std::move(c));
+    }
+
+    // 4. Halve one phase's lanes.
+    for (std::size_t p = 0; p < spec.phases.size(); ++p) {
+        if (!spec.phases[p].enabled || spec.phases[p].lanes <= 1)
+            continue;
+        ProgramSpec c = spec;
+        c.phases[p].lanes /= 2;
+        out.push_back(std::move(c));
+    }
+
+    return out;
+}
+
+} // namespace
+
+ShrinkResult
+shrink(const ProgramSpec &failing, const FailPredicate &stillFails,
+       unsigned budget)
+{
+    ShrinkResult res;
+    res.spec = failing;
+
+    bool improved = true;
+    while (improved && res.attempts < budget) {
+        improved = false;
+        for (ProgramSpec &cand : candidates(res.spec)) {
+            if (res.attempts >= budget)
+                break;
+            ++res.attempts;
+            if (stillFails(cand)) {
+                res.spec = std::move(cand);
+                ++res.improvements;
+                improved = true;
+                break; // re-derive candidates from the smaller spec
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace psim::check

@@ -52,6 +52,7 @@ class AdaptiveSequentialPrefetcher : public Prefetcher
             if (!obs.hit && ++_missesWhileOff >= _probeMisses) {
                 _missesWhileOff = 0;
                 _degree = 1;
+                _ramp = 0;
                 ++reenables;
             }
             if (_degree == 0)
@@ -62,9 +63,18 @@ class AdaptiveSequentialPrefetcher : public Prefetcher
         if (!obs.hit) {
             for (unsigned k = 1; k <= _degree; ++k)
                 pushCandidate(blk, static_cast<std::int64_t>(k) * bs, out);
+            _ramp = 0;
         } else if (obs.taggedHit) {
-            pushCandidate(blk, static_cast<std::int64_t>(_degree) * bs,
-                          out);
+            // Continuing an established stream: blocks up to distance
+            // _degree - _ramp ahead were already fetched by earlier
+            // steps, but the _ramp most recent degree increases opened
+            // holes the stream has not yet covered -- backfill them,
+            // or every increase would skip one block forever.
+            unsigned first = _degree > _ramp ? _degree - _ramp : 1;
+            for (unsigned k = first; k <= _degree; ++k)
+                pushCandidate(blk, static_cast<std::int64_t>(k) * bs,
+                              out);
+            _ramp = 0;
         }
     }
 
@@ -87,11 +97,14 @@ class AdaptiveSequentialPrefetcher : public Prefetcher
             if (_degree > 0) {
                 --_degree;
                 ++decreases;
+                if (_ramp > 0)
+                    --_ramp;
             }
         } else if (_lateInWindow * 2 >= _window) {
             if (_degree < _maxDegree) {
                 ++_degree;
                 ++increases;
+                ++_ramp;
             }
         }
         _outcomesInWindow = 0;
@@ -130,6 +143,8 @@ class AdaptiveSequentialPrefetcher : public Prefetcher
     unsigned _usefulInWindow = 0;
     unsigned _lateInWindow = 0;
     unsigned _missesWhileOff = 0;
+    /** Degree increases not yet backfilled on a tagged hit. */
+    unsigned _ramp = 0;
 };
 
 } // namespace psim

@@ -79,6 +79,20 @@ class BackingStore
 
     unsigned pageSize() const { return _pageSize; }
 
+    /**
+     * Visit every materialized page as (base address, page bytes).
+     * Unmaterialized pages read as zero; a visitor that treats absence
+     * as zeros (as the differential oracle does) sees the whole image.
+     * Iteration order is unspecified.
+     */
+    template <typename Fn>
+    void
+    forEachPage(Fn &&fn) const
+    {
+        for (const auto &[base, page] : _pages)
+            fn(base, page.data(), _pageSize);
+    }
+
   private:
     void
     checkSamePage(Addr addr, unsigned len) const

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "check/access_log.hh"
 #include "mem/flc.hh"
 #include "sim/logging.hh"
 #include "sys/cpu.hh"
@@ -384,7 +385,15 @@ Slc::maybePrefetch(Addr trigger_addr, Pc pc,
         Addr blk = cfg.blockAddr(cand);
         if (blk == trigger_blk)
             continue;
-        if (cfg.pageAddr(cand) != trigger_page) {
+        bool skip_page_filter = false;
+#ifdef PSIM_TEST_HOOKS
+        // Fault injection for the oracle self-test: let the candidate
+        // bypass the page filter so check::Oracle must flag it.
+        if (cfg.testHooks.allowPageCrossPeriod &&
+            ++_hookCandidates % cfg.testHooks.allowPageCrossPeriod == 0)
+            skip_page_filter = true;
+#endif
+        if (!skip_page_filter && cfg.pageAddr(cand) != trigger_page) {
             // Never prefetch across a page boundary (Section 2).
             ++pfDropPageCross;
             continue;
@@ -408,6 +417,14 @@ Slc::maybePrefetch(Addr trigger_addr, Pc pc,
         e.pc = pc;
         _mshrs.emplace(blk, e);
         ++pfIssued;
+        if (check::CommitSink *sink = _m.commitSink()) {
+            check::PrefetchIssueRecord rec;
+            rec.tick = _m.eq().now();
+            rec.node = _id;
+            rec.trigger = trigger_addr;
+            rec.block = blk;
+            sink->onPrefetchIssue(rec);
+        }
         if (_chrome)
             _chrome->prefetchIssue(_id, blk, _m.eq().now());
         if (_audit) {

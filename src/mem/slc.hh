@@ -207,6 +207,11 @@ class Slc
     std::unordered_map<Addr, Gone> _history;
 
     std::vector<Addr> _candidateBuf; ///< scratch, avoids allocation
+
+#ifdef PSIM_TEST_HOOKS
+    /** Fault-hook opportunity counter (TestHooks::allowPageCrossPeriod). */
+    std::uint64_t _hookCandidates = 0;
+#endif
 };
 
 } // namespace psim

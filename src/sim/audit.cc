@@ -320,4 +320,20 @@ MachineAudit::finalize(const Machine &m)
     }
 }
 
+LedgerSnapshot
+MachineAudit::exportLedger() const
+{
+    LedgerSnapshot snap;
+    snap.nodes.resize(_nodes.size());
+    for (std::size_t n = 0; n < _nodes.size(); ++n) {
+        const NodeAudit &na = *_nodes[n];
+        snap.nodes[n].issued = na.issued();
+        for (std::size_t f = 0; f < kNumFates; ++f) {
+            snap.nodes[n].fates[f] =
+                    na.fateCount(static_cast<Fate>(f));
+        }
+    }
+    return snap;
+}
+
 } // namespace psim::audit

@@ -167,6 +167,23 @@ class NodeAudit
 };
 
 /**
+ * Immutable end-of-run export of the prefetch fate ledger, one entry
+ * per node: issues and the count of every terminal fate. The
+ * differential oracle (check/oracle.hh) consumes this to re-verify the
+ * conservation law independently of the audit's own finalize().
+ */
+struct LedgerSnapshot
+{
+    struct Node
+    {
+        std::uint64_t issued = 0;
+        std::array<std::uint64_t, kNumFates> fates{};
+    };
+
+    std::vector<Node> nodes;
+};
+
+/**
  * Machine-wide audit: owns the per-node trackers and the global
  * checks that span nodes -- mesh message conservation, message-field
  * validation on every delivery, and lock/barrier quiescence.
@@ -192,6 +209,9 @@ class MachineAudit
 
     /** Global quiesce-time checks (call when the machine finished). */
     void finalize(const Machine &m);
+
+    /** Export every node's issue/fate counters for external checking. */
+    LedgerSnapshot exportLedger() const;
 
     std::uint64_t meshInjected() const { return _meshInjected; }
     std::uint64_t meshDelivered() const { return _meshDelivered; }

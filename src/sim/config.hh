@@ -76,6 +76,27 @@ struct PrefetchConfig
     unsigned adaptiveWindow = 16;
 };
 
+/**
+ * Fault-injection hooks for the differential checker's self-tests.
+ * All-zero (the default) means every hook is inert; a period-N hook
+ * fires on every Nth opportunity. The hooks are honored only when the
+ * PSIM_TEST_HOOKS CMake option compiled them in, and they exist for
+ * exactly one purpose: proving that check::Oracle rejects a machine
+ * that returns wrong data (tests/test_check.cc). Nothing else may set
+ * them.
+ */
+struct TestHooks
+{
+    /** Flip a bit in every Nth load value a processor consumes. */
+    unsigned corruptReadPeriod = 0;
+
+    /** Silently drop every Nth functional store (timing unchanged). */
+    unsigned dropStorePeriod = 0;
+
+    /** Let every Nth prefetch candidate bypass the page-cross filter. */
+    unsigned allowPageCrossPeriod = 0;
+};
+
 struct MachineConfig
 {
     /** Number of processing nodes; paper: 16 (4x4 mesh). */
@@ -185,6 +206,9 @@ struct MachineConfig
      * event when on, nothing when off.
      */
     bool audit = auditDefault();
+
+    /** Fault injection for oracle self-tests; inert by default. */
+    TestHooks testHooks;
 
     // ---- Prefetching ----
 

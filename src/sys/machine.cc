@@ -130,6 +130,14 @@ Machine::enableSampling(Tick interval)
 }
 
 void
+Machine::enableCommitRecording(check::CommitSink &sink)
+{
+    psim_assert(!_ran, "commit recording must attach before run()");
+    psim_assert(!_commitSink, "commit recording already enabled");
+    _commitSink = &sink;
+}
+
+void
 Machine::enableChromeTrace(Tick start, Tick end)
 {
     psim_assert(!_ran, "chrome tracing must attach before run()");

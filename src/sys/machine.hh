@@ -37,6 +37,11 @@ namespace stats
 class Sampler;
 }
 
+namespace check
+{
+class CommitSink;
+}
+
 /** The headline numbers of one simulation run (Figure 6 inputs). */
 struct RunMetrics
 {
@@ -143,6 +148,18 @@ class Machine
     const ChromeTracer *chromeTracer() const { return _chrome.get(); }
 
     /**
+     * Stream every committed shared-memory access (and every issued
+     * prefetch) of the coming run into @p sink, for differential
+     * checking (check/oracle.hh). Observability-grade, read-only:
+     * recording never changes simulated behaviour, timing, or any
+     * aggregate statistic. Call before run(); @p sink must outlive it.
+     */
+    void enableCommitRecording(check::CommitSink &sink);
+
+    /** The commit sink, or nullptr when recording is off. */
+    check::CommitSink *commitSink() const { return _commitSink; }
+
+    /**
      * Start every bound thread and run the machine until all threads
      * finish (or @p limit ticks pass). @return final tick.
      */
@@ -188,6 +205,7 @@ class Machine
     stats::Registry _registry;
     std::unique_ptr<stats::Sampler> _sampler;
     std::unique_ptr<ChromeTracer> _chrome;
+    check::CommitSink *_commitSink = nullptr;
     bool _ran = false;
 };
 

@@ -157,6 +157,15 @@ TraceReader::TraceReader(const std::string &path, bool salvage)
             static_cast<std::uint64_t>(_in.tellg());
     _in.seekg(0);
 
+    // Zero-length and sub-header files carry no recoverable records,
+    // so not even --salvage can make sense of them.
+    if (file_size < kHeaderBytes) {
+        psim_fatal("trace '%s' is truncated before the header "
+                   "(%llu of %u bytes); nothing to salvage",
+                   path.c_str(), (unsigned long long)file_size,
+                   (unsigned)kHeaderBytes);
+    }
+
     unsigned char buf[kHeaderBytes];
     _in.read(reinterpret_cast<char *>(buf), sizeof(buf));
     if (!_in || getLe(buf + 0, 8) != kMagic)
@@ -184,6 +193,14 @@ TraceReader::TraceReader(const std::string &path, bool salvage)
         // Recover the count from the file length; a torn trailing
         // record (writer killed mid-write) is dropped.
         _count = body / kRecordBytes;
+        // A header-only file salvages to nothing. Succeeding here
+        // would let a pipeline mistake an empty recovery for a good
+        // one, so fail loudly instead.
+        if (_count == 0) {
+            psim_fatal("salvage recovered no records from '%s' "
+                       "(%llu bytes past the header)",
+                       path.c_str(), (unsigned long long)body);
+        }
         return;
     }
     if (_count * kRecordBytes != body) {

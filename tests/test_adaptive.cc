@@ -92,6 +92,55 @@ TEST(Adaptive, MixedWindowKeepsDegree)
     EXPECT_EQ(p.degree(), 2u); // 10/16 useful: between the thresholds
 }
 
+TEST(Adaptive, TaggedHitBackfillsBlocksSkippedByDegreeIncrease)
+{
+    // Regression: on a tagged hit the prefetcher used to fetch only
+    // blk + degree blocks. After a degree increase d -> d+1 the stream
+    // continuation therefore skipped the block at the old lookahead
+    // distance, leaving a permanent hole that cost one demand miss per
+    // increase on every active stream.
+    AdaptiveSequentialPrefetcher p(32, /*initial*/2, /*max*/8,
+                                   /*window*/4);
+    auto out = observe(p, 0, false, false);
+    ASSERT_EQ(out.size(), 2u); // miss at degree 2: blocks 32 and 64
+    EXPECT_EQ(out[0], 32u);
+    EXPECT_EQ(out[1], 64u);
+
+    for (int i = 0; i < 4; ++i)
+        p.notePrefetchOutcome(true, /*late=*/true);
+    ASSERT_EQ(p.degree(), 3u);
+
+    // Stream continues at block 32. Block 96 (old degree-2 lookahead
+    // from here) was never fetched; only backfilling emits it.
+    out = observe(p, 32, true, true);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 96u);
+    EXPECT_EQ(out[1], 128u);
+
+    // Once compensated, steady state emits a single block again.
+    out = observe(p, 64, true, true);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 160u);
+}
+
+TEST(Adaptive, DecreaseCancelsPendingBackfill)
+{
+    // An increase followed by a decrease nets out: the degree is back
+    // where the stream left it, so there is no hole to backfill.
+    AdaptiveSequentialPrefetcher p(32, 2, 8, /*window*/4);
+    observe(p, 0, false, false);
+    for (int i = 0; i < 4; ++i)
+        p.notePrefetchOutcome(true, /*late=*/true);
+    ASSERT_EQ(p.degree(), 3u);
+    for (int i = 0; i < 4; ++i)
+        p.notePrefetchOutcome(false);
+    ASSERT_EQ(p.degree(), 2u);
+
+    auto out = observe(p, 32, true, true);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 96u);
+}
+
 TEST(Adaptive, ProbesAgainAfterShutoff)
 {
     AdaptiveSequentialPrefetcher p(32, 1, 8, 16, /*probe_misses=*/8);

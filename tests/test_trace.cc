@@ -330,6 +330,68 @@ TEST(TraceDeath, UnclosedCaptureIsFatal)
     std::remove(path.c_str());
 }
 
+TEST(TraceDeath, ZeroLengthFileIsFatal)
+{
+    std::string path = tmpPath("zerolen.psimtrace");
+    writeFileBytes(path, "");
+    EXPECT_EXIT(TraceReader r(path), ::testing::ExitedWithCode(1),
+            "truncated before the header");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeath, ZeroLengthFileIsFatalEvenWithSalvage)
+{
+    // --salvage recovers records, but a zero-length file has none to
+    // recover: it must still die with the truncation diagnostic, not
+    // read back as a valid empty trace.
+    std::string path = tmpPath("zerolen-salvage.psimtrace");
+    writeFileBytes(path, "");
+    EXPECT_EXIT(TraceReader r(path, /*salvage=*/true),
+            ::testing::ExitedWithCode(1),
+            "truncated before the header");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeath, SubHeaderFileIsFatal)
+{
+    // A few bytes of valid magic but less than a full header.
+    std::string path = tmpPath("subheader.psimtrace");
+    std::string bytes = captureBytes("subheader-src.psimtrace");
+    writeFileBytes(path, bytes.substr(0, 13));
+    EXPECT_EXIT(TraceReader r(path, /*salvage=*/true),
+            ::testing::ExitedWithCode(1),
+            "truncated before the header");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeath, HeaderOnlySalvageIsFatal)
+{
+    // Salvaging a header-only capture recovers zero records; silently
+    // succeeding would let a pipeline mistake that for a good recovery.
+    std::string path = tmpPath("hdronly.psimtrace");
+    std::string bytes = captureBytes("hdronly-src.psimtrace");
+    writeFileBytes(path, bytes.substr(0, 24));
+    EXPECT_EXIT(TraceReader r(path, /*salvage=*/true),
+            ::testing::ExitedWithCode(1),
+            "salvage recovered no records");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, HeaderOnlyClosedCaptureIsAValidEmptyTrace)
+{
+    // Without --salvage a properly closed empty capture (header count
+    // 0, no body) stays valid: emptiness was intentional there.
+    std::string path = tmpPath("hdronly-plain.psimtrace");
+    std::string bytes = captureBytes("hdronly-plain-src.psimtrace");
+    bytes = bytes.substr(0, 24);
+    for (int i = 16; i < 24; ++i)
+        bytes[i] = 0;
+    writeFileBytes(path, bytes);
+    auto records = TraceReader::readAll(path);
+    EXPECT_TRUE(records.empty());
+    std::remove(path.c_str());
+}
+
 TEST(Trace, SalvageRecoversUnclosedCapture)
 {
     std::string path = tmpPath("salvage.psimtrace");

@@ -24,6 +24,18 @@
  *     --sample-csv FILE      sampler time series as CSV
  *     --chrome-trace FILE    chrome://tracing event file
  *     --chrome-window A:B    restrict chrome-trace recording to [A, B]
+ *
+ * Differential fuzzing subcommand:
+ *   psim_cli fuzz [options]
+ *     --seeds N          check seeds seed-start..seed-start+N (default 20)
+ *     --seed-start S     first seed of the range (default 1)
+ *     --seed X           check one explicit seed (repeatable)
+ *     --corpus FILE      read seeds from FILE (one per line, '#' comments)
+ *     --jobs N           fan seeds out over N worker threads
+ *     --no-shrink        skip greedy repro minimization on failure
+ *     --repro-out FILE   write failing-seed repro report to FILE
+ *     --tick-limit N     per-run quiesce deadline in ticks
+ *     --mutant NAME      fault injection: corrupt-load|drop-store|page-cross
  */
 
 #include <cstdio>
@@ -34,6 +46,7 @@
 #include <memory>
 #include <string>
 
+#include "check/fuzz.hh"
 #include "sim/logging.hh"
 #include "sim/sampler.hh"
 #include "trace/chrome_trace.hh"
@@ -74,11 +87,113 @@ writeFile(const std::string &path, Emit emit)
         psim_fatal("write to %s failed", path.c_str());
 }
 
+[[noreturn]] void
+fuzzUsage(const char *argv0)
+{
+    std::fprintf(stderr,
+            "usage: %s fuzz [--seeds N] [--seed-start S] [--seed X]...\n"
+            "          [--corpus FILE] [--jobs N] [--no-shrink]\n"
+            "          [--repro-out FILE] [--tick-limit N]\n"
+            "          [--mutant corrupt-load|drop-store|page-cross]\n",
+            argv0);
+    std::exit(2);
+}
+
+/** Parse a seed-corpus file: one seed per line, '#' starts a comment. */
+std::vector<std::uint64_t>
+readCorpus(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr,
+                "error: cannot read seed corpus '%s'\n", path.c_str());
+        std::exit(1);
+    }
+    std::vector<std::uint64_t> seeds;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::size_t b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        std::size_t e = line.find_last_not_of(" \t\r");
+        seeds.push_back(static_cast<std::uint64_t>(
+                std::strtoull(line.substr(b, e - b + 1).c_str(),
+                        nullptr, 0)));
+    }
+    if (seeds.empty()) {
+        std::fprintf(stderr,
+                "error: seed corpus '%s' contains no seeds\n",
+                path.c_str());
+        std::exit(1);
+    }
+    return seeds;
+}
+
+int
+fuzzMain(int argc, char **argv)
+{
+    check::FuzzOptions opts;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fuzzUsage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--seeds") {
+            opts.numSeeds = static_cast<unsigned>(atoi(value()));
+        } else if (arg == "--seed-start") {
+            opts.seedStart =
+                    static_cast<std::uint64_t>(atoll(value()));
+        } else if (arg == "--seed") {
+            opts.seeds.push_back(
+                    static_cast<std::uint64_t>(atoll(value())));
+        } else if (arg == "--corpus") {
+            opts.seeds = readCorpus(value());
+        } else if (arg == "--jobs") {
+            opts.jobs = static_cast<unsigned>(atoi(value()));
+        } else if (arg == "--no-shrink") {
+            opts.shrink = false;
+        } else if (arg == "--repro-out") {
+            opts.reproPath = value();
+        } else if (arg == "--tick-limit") {
+            opts.tickLimit = static_cast<Tick>(atoll(value()));
+        } else if (arg == "--mutant") {
+            std::string m = value();
+            if (m == "corrupt-load")
+                opts.hooks.corruptReadPeriod = 7;
+            else if (m == "drop-store")
+                opts.hooks.dropStorePeriod = 11;
+            else if (m == "page-cross")
+                opts.hooks.allowPageCrossPeriod = 3;
+            else
+                fuzzUsage(argv[0]);
+#ifndef PSIM_TEST_HOOKS
+            std::fprintf(stderr, "error: --mutant needs a build with "
+                    "-DPSIM_TEST_HOOKS=ON\n");
+            return 1;
+#endif
+        } else if (arg == "--help" || arg == "-h") {
+            fuzzUsage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            fuzzUsage(argv[0]);
+        }
+    }
+    check::FuzzReport report = check::runFuzz(opts, std::cout);
+    return report.ok() ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "fuzz") == 0)
+        return fuzzMain(argc, argv);
     std::string workload = "lu";
     std::string trace_path;
     bool dump_stats = false;

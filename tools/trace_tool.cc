@@ -6,13 +6,17 @@
  * Usage:
  *   trace_tool FILE [--node N] [--salvage]
  *   trace_tool stats FILE [--salvage]
+ *   trace_tool check FILE [--salvage]
  *
  * The default mode prints trace summary statistics, the Table-2 stride
  * characterization of the selected node's read-miss stream, and the
  * candidate-coverage of each prefetching scheme replayed over that
  * stream. The `stats` subcommand aggregates the trace into the same
  * schema'd JSON document the simulator emits (--stats-json), so the
- * downstream tooling can consume either source.
+ * downstream tooling can consume either source. The `check` subcommand
+ * validates a trace without analyzing it -- well-formed records and
+ * per-node tick monotonicity -- and exits nonzero on an empty or
+ * malformed file, for use as a pipeline gate.
  *
  * `--salvage` recovers records from a capture whose writer died before
  * close() (the header still says 0 records); without it such files are
@@ -43,8 +47,43 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
             "usage: %s FILE [--node N] [--salvage]\n"
-            "       %s stats FILE [--salvage]\n", argv0, argv0);
+            "       %s stats FILE [--salvage]\n"
+            "       %s check FILE [--salvage]\n", argv0, argv0, argv0);
     std::exit(2);
+}
+
+/**
+ * `trace_tool check`: validate a trace for pipeline use. Exits 0 with
+ * a one-line summary when the file holds at least one record and every
+ * node's ticks are monotone, 1 with a one-line diagnostic otherwise.
+ */
+int
+checkCommand(const std::string &path, bool salvage)
+{
+    auto records = TraceReader::readAll(path, salvage);
+    if (records.empty()) {
+        std::fprintf(stderr,
+                "error: trace '%s' holds no records\n", path.c_str());
+        return 1;
+    }
+    std::map<NodeId, Tick> last_tick;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto &rec = records[i];
+        auto [it, fresh] = last_tick.try_emplace(rec.node, rec.tick);
+        if (!fresh && rec.tick < it->second) {
+            std::fprintf(stderr,
+                    "error: trace '%s' record %zu: node %u tick %llu "
+                    "goes backwards (previous %llu)\n",
+                    path.c_str(), i, rec.node,
+                    (unsigned long long)rec.tick,
+                    (unsigned long long)it->second);
+            return 1;
+        }
+        it->second = rec.tick;
+    }
+    std::printf("%s: OK, %zu records, %zu nodes\n", path.c_str(),
+                records.size(), last_tick.size());
+    return 0;
 }
 
 /**
@@ -120,7 +159,8 @@ main(int argc, char **argv)
         usage(argv[0]);
 
     bool stats_mode = std::strcmp(argv[1], "stats") == 0;
-    int first_arg = stats_mode ? 2 : 1;
+    bool check_mode = std::strcmp(argv[1], "check") == 0;
+    int first_arg = (stats_mode || check_mode) ? 2 : 1;
     if (first_arg >= argc)
         usage(argv[0]);
     std::string path = argv[first_arg];
@@ -137,6 +177,8 @@ main(int argc, char **argv)
 
     if (stats_mode)
         return statsCommand(path, salvage);
+    if (check_mode)
+        return checkCommand(path, salvage);
 
     auto records = TraceReader::readAll(path, salvage);
     std::printf("%s: %zu records\n", path.c_str(), records.size());
