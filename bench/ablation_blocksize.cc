@@ -20,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opt = parseBenchArgs(argc, argv);
+    const WallTimer wall;
     const std::vector<std::string> &workloads = opt.workloads();
     const std::vector<unsigned> blocks = {32, 128};
 
@@ -62,5 +63,6 @@ main(int argc, char **argv)
         }
         hr(92);
     }
+    wall.report();
     return 0;
 }

@@ -20,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opt = parseBenchArgs(argc, argv);
+    const WallTimer wall;
 
     const std::vector<unsigned> degrees = {1, 2, 4, 8};
     const std::vector<std::string> workloads = {"lu", "ocean", "mp3d"};
@@ -77,5 +78,6 @@ main(int argc, char **argv)
         }
         hr(92);
     }
+    wall.report();
     return 0;
 }

@@ -11,6 +11,7 @@
 #ifndef PSIM_BENCH_COMMON_HH
 #define PSIM_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -35,8 +36,32 @@ struct BenchOptions
     unsigned jobs = 0;        ///< 0: PSIM_JOBS env, else hardware
     std::string jsonPath;     ///< empty: no machine-readable output
     std::vector<std::string> apps; ///< empty: the paper's six
+    /** Intra-run shards per machine (0: classic serial engine). */
+    unsigned shards = 0;
+    /** Override the machine size (0: the paper's 16 processors). */
+    unsigned procs = 0;
     /** Per-cell observability flags (--stats-json & friends). */
     apps::ObservabilityOptions obs;
+
+    /**
+     * Apply the machine-shape flags (--procs, --shards) to one cell's
+     * config. The mesh is kept as square as the processor count allows
+     * (the largest divisor no greater than the square root).
+     */
+    void
+    applyMachine(MachineConfig &cfg) const
+    {
+        if (procs) {
+            cfg.numProcs = procs;
+            unsigned d = 1;
+            for (unsigned c = 1; c * c <= procs; ++c) {
+                if (procs % c == 0)
+                    d = c; // largest divisor <= sqrt(procs)
+            }
+            cfg.meshCols = procs / d;
+        }
+        cfg.shards = shards;
+    }
 
     /** The workload list this harness should run. */
     const std::vector<std::string> &
@@ -88,6 +113,16 @@ parseBenchArgs(int argc, char **argv)
                 psim_fatal("-jN must be a positive integer");
         } else if (arg == "--json") {
             opt.jsonPath = value("--json");
+        } else if (arg == "--shards") {
+            opt.shards = static_cast<unsigned>(
+                    std::strtoul(value("--shards").c_str(), nullptr, 10));
+            if (opt.shards == 0)
+                psim_fatal("--shards must be a positive integer");
+        } else if (arg == "--procs") {
+            opt.procs = static_cast<unsigned>(
+                    std::strtoul(value("--procs").c_str(), nullptr, 10));
+            if (opt.procs == 0)
+                psim_fatal("--procs must be a positive integer");
         } else if (arg == "--apps") {
             std::string list = value("--apps");
             std::size_t pos = 0;
@@ -104,6 +139,7 @@ parseBenchArgs(int argc, char **argv)
         } else {
             psim_fatal("unknown argument '%s' "
                        "(supported: --jobs N, --json PATH, --apps a,b, "
+                       "--shards N, --procs N, "
                        "--stats-json PREFIX, --sample-interval N, "
                        "--sample-csv PREFIX, --chrome-trace PREFIX, "
                        "--chrome-window A:B)",
@@ -112,6 +148,34 @@ parseBenchArgs(int argc, char **argv)
     }
     return opt;
 }
+
+/**
+ * Wall-clock stopwatch for whole-harness timing. Every bench prints
+ * its elapsed wall time on stderr so speedups from --jobs/--shards are
+ * visible without wrapping the binary in `time`.
+ */
+class WallTimer
+{
+  public:
+    WallTimer() : _start(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - _start).count();
+    }
+
+    /** Print "  wall time: X.XXs" on stderr. */
+    void
+    report() const
+    {
+        std::fprintf(stderr, "  wall time: %.2fs\n", seconds());
+    }
+
+  private:
+    std::chrono::steady_clock::time_point _start;
+};
 
 /** Serialized "  ran <app> <scheme>" progress line (stderr). */
 inline void

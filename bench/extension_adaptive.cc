@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opt = parseBenchArgs(argc, argv);
+    const WallTimer wall;
     const std::vector<PrefetchScheme> schemes = {
         PrefetchScheme::Sequential, PrefetchScheme::Adaptive,
         PrefetchScheme::IDet};
@@ -50,5 +51,6 @@ main(int argc, char **argv)
         }
         hr(92);
     }
+    wall.report();
     return 0;
 }

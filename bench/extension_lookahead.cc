@@ -20,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opt = parseBenchArgs(argc, argv);
+    const WallTimer wall;
     std::printf("Extension: tagged-continuation I-det vs lookahead-PC "
                 "I-det (16 procs, infinite SLC)\n\n");
     hr(92);
@@ -58,5 +59,6 @@ main(int argc, char **argv)
     }
     std::printf("\npaper's claim: for long stride sequences the two "
                 "mechanisms are nearly identical.\n");
+    wall.report();
     return 0;
 }

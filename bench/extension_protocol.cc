@@ -28,6 +28,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opt = parseBenchArgs(argc, argv);
+    const WallTimer wall;
     std::printf("Part 1: release vs sequential consistency "
                 "(16 procs, infinite SLC)\n\n");
     hr(92);
@@ -90,5 +91,6 @@ main(int argc, char **argv)
         }
         hr(92);
     }
+    wall.report();
     return 0;
 }

@@ -21,7 +21,6 @@
  * BENCH_fig6.json) emits the machine-readable results.
  */
 
-#include <chrono>
 #include <limits>
 #include <map>
 
@@ -57,13 +56,15 @@ main(int argc, char **argv)
         PrefetchScheme::Sequential};
     const std::vector<std::string> &workloads = opt.workloads();
 
-    const auto wall_start = std::chrono::steady_clock::now();
+    const WallTimer wall;
 
     std::vector<Cell> cells(workloads.size() * schemes.size());
     runGrid(cells.size(), jobs, [&](std::size_t i) {
         const std::string &name = workloads[i / schemes.size()];
         PrefetchScheme scheme = schemes[i % schemes.size()];
-        apps::Run run = runChecked(name, paperConfig(scheme),
+        MachineConfig cfg = paperConfig(scheme);
+        opt.applyMachine(cfg);
+        apps::Run run = runChecked(name, cfg,
                 opt.runOptions(name + "-" + toString(scheme)));
         Cell c;
         c.misses = run.metrics.readMisses;
@@ -75,10 +76,7 @@ main(int argc, char **argv)
         progress(name.c_str(), toString(scheme));
     });
 
-    const double wall_seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          wall_start)
-                    .count();
+    const double wall_seconds = wall.seconds();
 
     std::map<std::string, std::map<PrefetchScheme, Cell>> grid;
     for (std::size_t i = 0; i < cells.size(); ++i)
@@ -150,6 +148,7 @@ main(int argc, char **argv)
     json.beginObject();
     json.field("bench", std::string("fig6_schemes"));
     json.field("jobs", static_cast<double>(jobs));
+    json.field("shards", static_cast<double>(opt.shards));
     json.field("wall_seconds", wall_seconds);
     json.beginObject("apps");
     for (const auto &name : workloads) {

@@ -69,6 +69,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opt = parseBenchArgs(argc, argv);
+    const WallTimer wall;
 
     std::vector<Point> points;
     auto addPoint = [&](const std::string &label,
@@ -120,5 +121,6 @@ main(int argc, char **argv)
     for (const auto &line : lines)
         std::fputs(line.c_str(), stdout);
     hr(86);
+    wall.report();
     return 0;
 }

@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opt = parseBenchArgs(argc, argv);
+    const WallTimer wall;
     const std::vector<std::string> &workloads = opt.workloads();
 
     // One independent cell per application; rows are formatted by the
@@ -67,5 +68,6 @@ main(int argc, char **argv)
                 "stride sequences (>=3 equidistant\naccesses from one "
                 "load instruction); strides shorter than a block count "
                 "as 1 block.\n");
+    wall.report();
     return 0;
 }

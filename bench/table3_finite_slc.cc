@@ -19,6 +19,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opt = parseBenchArgs(argc, argv);
+    const WallTimer wall;
     const std::vector<std::string> &workloads = opt.workloads();
 
     std::vector<std::string> rows(workloads.size());
@@ -65,5 +66,6 @@ main(int argc, char **argv)
     hr(86);
     std::printf("\nrepl misses = replacement misses as %% of node 0's "
                 "demand read misses.\n");
+    wall.report();
     return 0;
 }

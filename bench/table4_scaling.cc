@@ -53,6 +53,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opt = parseBenchArgs(argc, argv);
+    const WallTimer wall;
     const std::vector<std::string> &workloads = opt.workloads();
 
     // Two cells (scale 1, scale 2) per application, all independent.
@@ -93,5 +94,6 @@ main(int argc, char **argv)
                     static_cast<long long>(big.dominant));
     }
     hr(96);
+    wall.report();
     return 0;
 }

@@ -7,15 +7,27 @@
  * and purely functional -- timing lives entirely in the architectural
  * models. Typed accessors require naturally aligned accesses, which is
  * what the workloads (and SPARC, the paper's ISA) generate.
+ *
+ * The page table is a fixed-size bucket array of lock-free singly
+ * linked chains so the sharded engine's worker threads can fault pages
+ * in concurrently: lookups are acquire-loads down a chain, inserts a
+ * single CAS on the bucket head (the loser of a same-page race frees
+ * its node and adopts the winner's page). Nodes are never removed, so
+ * a page pointer, once obtained, stays valid for the store's lifetime.
+ * Byte ranges within a page are only written by the node that owns the
+ * simulated address at that instant -- data-race freedom of the
+ * simulated program, which the memory model already requires, is what
+ * makes the host-level accesses race-free too.
  */
 
 #ifndef PSIM_MEM_BACKING_STORE_HH
 #define PSIM_MEM_BACKING_STORE_HH
 
+#include <array>
+#include <atomic>
 #include <cstring>
+#include <memory>
 #include <type_traits>
-#include <unordered_map>
-#include <vector>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -30,7 +42,24 @@ class BackingStore
         : _pageSize(page_size)
     {
         psim_assert(isPowerOf2(page_size), "page size must be power of 2");
+        for (auto &b : _buckets)
+            b.store(nullptr, std::memory_order_relaxed);
     }
+
+    ~BackingStore()
+    {
+        for (auto &b : _buckets) {
+            PageNode *n = b.load(std::memory_order_relaxed);
+            while (n) {
+                PageNode *next = n->next;
+                delete n;
+                n = next;
+            }
+        }
+    }
+
+    BackingStore(const BackingStore &) = delete;
+    BackingStore &operator=(const BackingStore &) = delete;
 
     /** Read @p len bytes at @p addr (must not cross a page). */
     void
@@ -83,17 +112,30 @@ class BackingStore
      * Visit every materialized page as (base address, page bytes).
      * Unmaterialized pages read as zero; a visitor that treats absence
      * as zeros (as the differential oracle does) sees the whole image.
-     * Iteration order is unspecified.
+     * Iteration order is unspecified. Not safe concurrently with
+     * writes; call when the machine is quiescent.
      */
     template <typename Fn>
     void
     forEachPage(Fn &&fn) const
     {
-        for (const auto &[base, page] : _pages)
-            fn(base, page.data(), _pageSize);
+        for (const auto &b : _buckets) {
+            for (const PageNode *n = b.load(std::memory_order_acquire);
+                 n; n = n->next)
+                fn(n->base, n->data.get(), _pageSize);
+        }
     }
 
   private:
+    struct PageNode
+    {
+        Addr base;
+        PageNode *next;
+        std::unique_ptr<std::uint8_t[]> data;
+    };
+
+    static constexpr std::size_t kBuckets = 1024;
+
     void
     checkSamePage(Addr addr, unsigned len) const
     {
@@ -104,24 +146,62 @@ class BackingStore
 
     std::size_t offset(Addr addr) const { return addr & (_pageSize - 1); }
 
+    std::size_t
+    bucketOf(Addr base) const
+    {
+        std::uint64_t x = base / _pageSize;
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        return static_cast<std::size_t>(x) & (kBuckets - 1);
+    }
+
     const std::uint8_t *
     findPage(Addr addr) const
     {
-        auto it = _pages.find(alignDown(addr, _pageSize));
-        return it == _pages.end() ? nullptr : it->second.data();
+        Addr base = alignDown(addr, _pageSize);
+        for (const PageNode *n = _buckets[bucketOf(base)].load(
+                     std::memory_order_acquire);
+             n; n = n->next) {
+            if (n->base == base)
+                return n->data.get();
+        }
+        return nullptr;
     }
 
     std::uint8_t *
     ensurePage(Addr addr)
     {
-        auto &page = _pages[alignDown(addr, _pageSize)];
-        if (page.empty())
-            page.resize(_pageSize, 0);
-        return page.data();
+        Addr base = alignDown(addr, _pageSize);
+        std::atomic<PageNode *> &head = _buckets[bucketOf(base)];
+        PageNode *top = head.load(std::memory_order_acquire);
+        for (PageNode *n = top; n; n = n->next) {
+            if (n->base == base)
+                return n->data.get();
+        }
+        // Allocate a zeroed page and publish it with a CAS on the
+        // bucket head; whoever loses the race rescans the fresh
+        // prefix for a concurrently inserted node for the same page.
+        auto fresh = std::make_unique<PageNode>();
+        fresh->base = base;
+        fresh->data = std::make_unique<std::uint8_t[]>(_pageSize);
+        std::memset(fresh->data.get(), 0, _pageSize);
+        fresh->next = top;
+        for (;;) {
+            if (head.compare_exchange_weak(top, fresh.get(),
+                                           std::memory_order_release,
+                                           std::memory_order_acquire))
+                return fresh.release()->data.get();
+            for (PageNode *n = top; n && n != fresh->next; n = n->next) {
+                if (n->base == base)
+                    return n->data.get(); // lost a same-page race
+            }
+            fresh->next = top;
+        }
     }
 
     unsigned _pageSize;
-    std::unordered_map<Addr, std::vector<std::uint8_t>> _pages;
+    std::array<std::atomic<PageNode *>, kBuckets> _buckets;
 };
 
 } // namespace psim

@@ -5,6 +5,12 @@
 namespace psim
 {
 
+namespace
+{
+/// Initial infinite-mode table capacity (slots; must be a power of 2).
+constexpr std::size_t kInitialTableSlots = 1024;
+} // namespace
+
 const char *
 toString(CohState s)
 {
@@ -23,91 +29,55 @@ CacheArray::CacheArray(unsigned size_bytes, unsigned assoc,
                        unsigned block_size)
     : _infinite(size_bytes == 0),
       _assoc(assoc),
-      _blockSize(block_size),
+      _blockShift(log2Exact(block_size)),
       _numSets(0)
 {
     psim_assert(isPowerOf2(block_size), "block size must be a power of 2");
-    if (!_infinite) {
-        psim_assert(assoc >= 1, "associativity must be >= 1");
-        unsigned blocks = size_bytes / block_size;
-        psim_assert(blocks >= assoc, "cache smaller than one set");
-        _numSets = blocks / assoc;
-        psim_assert(isPowerOf2(_numSets),
-                "number of sets (%u) must be a power of 2", _numSets);
-        _frames.resize(static_cast<std::size_t>(_numSets) * _assoc);
-    }
-}
-
-std::size_t
-CacheArray::setIndex(Addr blk_addr) const
-{
-    return static_cast<std::size_t>(
-            (blk_addr / _blockSize) & (_numSets - 1));
-}
-
-CacheBlk *
-CacheArray::find(Addr blk_addr)
-{
     if (_infinite) {
-        auto it = _map.find(blk_addr);
-        if (it == _map.end() || !it->second.valid())
-            return nullptr;
-        return &it->second;
+        _table.resize(kInitialTableSlots);
+        _tableTags.assign(kInitialTableSlots, kAddrInvalid);
+        _tableShift = 64 - log2Exact(kInitialTableSlots);
+        return;
     }
-    CacheBlk *set = &_frames[setIndex(blk_addr) * _assoc];
-    for (unsigned w = 0; w < _assoc; ++w) {
-        if (set[w].valid() && set[w].addr == blk_addr)
-            return &set[w];
-    }
-    return nullptr;
-}
-
-const CacheBlk *
-CacheArray::find(Addr blk_addr) const
-{
-    return const_cast<CacheArray *>(this)->find(blk_addr);
-}
-
-CacheBlk *
-CacheArray::findVictim(Addr blk_addr)
-{
-    if (_infinite) {
-        auto [it, inserted] = _map.try_emplace(blk_addr);
-        if (inserted)
-            it->second.addr = blk_addr;
-        return &it->second;
-    }
-    CacheBlk *set = &_frames[setIndex(blk_addr) * _assoc];
-    CacheBlk *victim = &set[0];
-    for (unsigned w = 0; w < _assoc; ++w) {
-        if (!set[w].valid())
-            return &set[w];
-        if (set[w].lastUse < victim->lastUse)
-            victim = &set[w];
-    }
-    return victim;
+    psim_assert(assoc >= 1, "associativity must be >= 1");
+    unsigned blocks = size_bytes / block_size;
+    psim_assert(blocks >= assoc, "cache smaller than one set");
+    _numSets = blocks / assoc;
+    psim_assert(isPowerOf2(_numSets),
+            "number of sets (%u) must be a power of 2", _numSets);
+    std::size_t frames = static_cast<std::size_t>(_numSets) * _assoc;
+    _frames.resize(frames);
+    _tags.assign(frames, kAddrInvalid);
 }
 
 void
-CacheArray::invalidate(CacheBlk *blk)
+CacheArray::grow()
 {
-    blk->state = CohState::Invalid;
-    blk->prefetched = false;
+    // Quadruple rather than double: growth rehashes every resident
+    // block, and the table never shrinks, so fewer, larger steps win.
+    std::vector<CacheBlk> old = std::move(_table);
+    _table.assign(old.size() * 4, CacheBlk{});
+    _tableTags.assign(_table.size(), kAddrInvalid);
+    _tableShift = 64 - log2Exact(_table.size());
+    const std::size_t mask = _table.size() - 1;
+    for (CacheBlk &blk : old) {
+        if (blk.addr == kAddrInvalid)
+            continue;
+        std::size_t i = hashOf(blk.addr) & mask;
+        while (_tableTags[i] != kAddrInvalid)
+            i = (i + 1) & mask;
+        _tableTags[i] = blk.addr;
+        _table[i] = blk;
+    }
 }
 
 void
 CacheArray::forEach(const std::function<void(const CacheBlk &)> &fn) const
 {
-    if (_infinite) {
-        for (const auto &[addr, blk] : _map) {
-            if (blk.valid())
-                fn(blk);
-        }
-    } else {
-        for (const auto &blk : _frames) {
-            if (blk.valid())
-                fn(blk);
-        }
+    const std::vector<CacheBlk> &store = _infinite ? _table : _frames;
+    for (const CacheBlk &blk : store) {
+        if (blk.valid())
+            fn(blk);
     }
 }
 

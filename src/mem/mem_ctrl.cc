@@ -10,6 +10,7 @@ namespace psim
 
 MemCtrl::MemCtrl(Machine &m, NodeId id)
     : _m(m),
+      _eq(m.eqOf(id)),
       _id(id),
       _locks([this](NodeId dst, Addr addr) {
           reply(MsgType::LockGrant, dst, addr, 0);
@@ -20,6 +21,10 @@ MemCtrl::MemCtrl(Machine &m, NodeId id)
 {
     _audit = m.auditor();
     _locks.setAudit(_audit);
+    // The directory map sits on the hot path of every coherence message;
+    // pre-size it and keep the load factor low to limit rehash churn.
+    _dir.reserve(1024);
+    _dir.max_load_factor(0.7f);
 }
 
 void
@@ -148,9 +153,9 @@ MemCtrl::receive(const Message &m)
       default:
         break;
     }
-    Tick start = _bank.claim(_m.eq().now(), _m.cfg().dirLat);
+    Tick start = _bank.claim(_eq.now(), _m.cfg().dirLat);
     Message copy = m;
-    _m.eq().schedule(start + delay, [this, copy] { process(copy); });
+    _eq.schedule(start + delay, [this, copy] { process(copy); });
 }
 
 void
@@ -413,7 +418,7 @@ MemCtrl::unblock(DirEntry &ent, Addr addr)
     // Queued requests replay against row-buffer-hot data: they pay the
     // directory access but not a fresh DRAM access.
     ent.replayPending = true;
-    _m.eq().scheduleIn(_m.cfg().dirLat, [this, next] {
+    _eq.scheduleIn(_m.cfg().dirLat, [this, next] {
         DirEntry &e = _dir[next.addr];
         e.replayPending = false;
         psim_assert(!e.busy, "queued request replayed into busy entry");

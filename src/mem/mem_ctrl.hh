@@ -27,6 +27,7 @@ namespace psim
 {
 
 class Machine;
+class EventQueue;
 
 class MemCtrl
 {
@@ -156,6 +157,8 @@ class MemCtrl
     static std::uint64_t bit(NodeId n) { return 1ULL << n; }
 
     Machine &_m;
+    /** This node's event queue (per-shard in sharded mode). */
+    EventQueue &_eq;
     NodeId _id;
     audit::MachineAudit *_audit = nullptr; ///< null when auditing is off
     Resource _bank;

@@ -14,6 +14,7 @@ namespace psim
 
 Slc::Slc(Machine &m, NodeId id, Flc &flc, Cpu &cpu)
     : _m(m),
+      _eq(m.eqOf(id)),
       _id(id),
       _flc(flc),
       _cpu(cpu),
@@ -30,17 +31,6 @@ Slc::findMshr(Addr blk_addr)
 {
     auto it = _mshrs.find(blk_addr);
     return it == _mshrs.end() ? nullptr : &it->second;
-}
-
-std::size_t
-Slc::slwbOccupancy() const
-{
-    std::size_t n = 0;
-    for (const auto &[addr, e] : _mshrs) {
-        if (!(e.kind == Mshr::Kind::Write && e.upgrade))
-            ++n;
-    }
-    return n;
 }
 
 bool
@@ -119,7 +109,7 @@ Slc::prefetchEfficiency() const
 bool
 Slc::tryAccept(const FlwbEntry &e)
 {
-    const Tick now = _m.eq().now();
+    const Tick now = _eq.now();
 
     // The SLC tag array services one processor-side access per SRAM
     // cycle; the FLWB must hold its head while an access is in flight.
@@ -157,7 +147,7 @@ Slc::tryAccept(const FlwbEntry &e)
         Addr addr = e.addr;
         Pc pc = e.pc;
         bool is_read = e.kind == FlwbEntry::Kind::ReadMiss;
-        _m.eq().schedule(start + cfg.slcAccessLat, [this, addr, pc,
+        _eq.schedule(start + cfg.slcAccessLat, [this, addr, pc,
                                                     is_read] {
             if (is_read)
                 processRead(addr, pc);
@@ -186,7 +176,7 @@ void
 Slc::processRead(Addr addr, Pc pc)
 {
     const MachineConfig &cfg = _m.cfg();
-    const Tick now = _m.eq().now();
+    const Tick now = _eq.now();
     Addr blk_addr = cfg.blockAddr(addr);
     ++demandReads;
 
@@ -223,7 +213,7 @@ Slc::processRead(Addr addr, Pc pc)
             }
         }
         _array.touch(blk, now);
-        _m.eq().scheduleIn(cfg.slcToCpuLat,
+        _eq.scheduleIn(cfg.slcToCpuLat,
                 [this, addr] { _cpu.readComplete(addr); });
     } else {
         if (Mshr *e = findMshr(blk_addr)) {
@@ -267,6 +257,7 @@ Slc::processRead(Addr addr, Pc pc)
             fresh.demandAddr = addr;
             fresh.demandWaiting = true;
             _mshrs.emplace(blk_addr, fresh);
+            ++_slwbOcc;
             if (_audit) {
                 _audit->checkSlwb(slwbOccupancy(), _slwbCap, false,
                         "demand read allocation");
@@ -292,7 +283,7 @@ void
 Slc::processWrite(Addr addr, Pc pc)
 {
     const MachineConfig &cfg = _m.cfg();
-    const Tick now = _m.eq().now();
+    const Tick now = _eq.now();
     Addr blk_addr = cfg.blockAddr(addr);
     ++writeRequests;
 
@@ -366,6 +357,7 @@ Slc::processWrite(Addr addr, Pc pc)
     e.upgrade = false;
     e.pendingStores = 1;
     _mshrs.emplace(blk_addr, e);
+    ++_slwbOcc;
     if (_audit) {
         _audit->checkSlwb(slwbOccupancy(), _slwbCap, false,
                 "write-miss allocation");
@@ -416,19 +408,20 @@ Slc::maybePrefetch(Addr trigger_addr, Pc pc,
         e.blkAddr = blk;
         e.pc = pc;
         _mshrs.emplace(blk, e);
+        ++_slwbOcc;
         ++pfIssued;
         if (check::CommitSink *sink = _m.commitSink()) {
             check::PrefetchIssueRecord rec;
-            rec.tick = _m.eq().now();
+            rec.tick = _eq.now();
             rec.node = _id;
             rec.trigger = trigger_addr;
             rec.block = blk;
             sink->onPrefetchIssue(rec);
         }
         if (_chrome)
-            _chrome->prefetchIssue(_id, blk, _m.eq().now());
+            _chrome->prefetchIssue(_id, blk, _eq.now());
         if (_audit) {
-            _audit->onIssue(blk, pc, _m.eq().now());
+            _audit->onIssue(blk, pc, _eq.now());
             _audit->checkSlwb(slwbOccupancy(), _slwbCap, true,
                     "prefetch allocation");
         }
@@ -470,11 +463,11 @@ Slc::agePrefetches()
             reportOutcome(blk, false);
             if (_audit) {
                 _audit->onFate(a, audit::Fate::AgedUnused,
-                        audit::Event::AgedOut, _m.eq().now());
+                        audit::Event::AgedOut, _eq.now());
             }
             if (_chrome) {
                 _chrome->prefetchFate(_id, a, audit::Fate::AgedUnused,
-                        _m.eq().now());
+                        _eq.now());
             }
         }
     }
@@ -509,13 +502,13 @@ Slc::invalidateBlock(CacheBlk *blk, bool replacement)
                                 : audit::Fate::Invalidated,
                     replacement ? audit::Event::Replaced
                                 : audit::Event::Invalidated,
-                    _m.eq().now());
+                    _eq.now());
         }
         if (_chrome) {
             _chrome->prefetchFate(_id, blk->addr,
                     replacement ? audit::Fate::Replaced
                                 : audit::Fate::Invalidated,
-                    _m.eq().now());
+                    _eq.now());
         }
     }
     _history[blk->addr] = replacement ? Gone::Replaced : Gone::Invalidated;
@@ -549,7 +542,7 @@ void
 Slc::handleFill(const Message &m, bool exclusive)
 {
     const MachineConfig &cfg = _m.cfg();
-    const Tick now = _m.eq().now();
+    const Tick now = _eq.now();
     Addr blk_addr = m.addr;
 
     Mshr *e = findMshr(blk_addr);
@@ -590,7 +583,7 @@ Slc::handleFill(const Message &m, bool exclusive)
 
     if (e->demandWaiting) {
         Addr daddr = e->demandAddr;
-        _m.eq().scheduleIn(cfg.slcToCpuLat,
+        _eq.scheduleIn(cfg.slcToCpuLat,
                 [this, daddr] { _cpu.readComplete(daddr); });
     }
 
@@ -598,6 +591,9 @@ Slc::handleFill(const Message &m, bool exclusive)
         psim_assert(exclusive, "write transaction filled shared");
         frame->written = true;
         completeStores(*e);
+        // An upgrade serviced as read-exclusive never held a data slot.
+        if (!e->upgrade)
+            --_slwbOcc;
         _mshrs.erase(blk_addr);
         return;
     }
@@ -627,6 +623,7 @@ Slc::handleFill(const Message &m, bool exclusive)
             frame->state = CohState::Modified;
             frame->written = true;
             completeStores(*e);
+            --_slwbOcc;
             _mshrs.erase(blk_addr);
             return;
         }
@@ -647,6 +644,9 @@ Slc::handleFill(const Message &m, bool exclusive)
         }
         frame->prefetched = false;
         ++upgrades;
+        // The data slot frees here: the entry lives on as an upgrade,
+        // which buffers no data.
+        --_slwbOcc;
         e->kind = Mshr::Kind::Write;
         e->upgrade = true;
         e->pendingStores = e->deferredStores;
@@ -656,6 +656,7 @@ Slc::handleFill(const Message &m, bool exclusive)
         return;
     }
 
+    --_slwbOcc;
     _mshrs.erase(blk_addr);
 }
 
@@ -693,7 +694,7 @@ Slc::receive(const Message &m)
             makeRoom(m.addr);
             CacheBlk *frame = _array.findVictim(m.addr);
             _array.fill(frame, m.addr, CohState::Modified,
-                        _m.eq().now());
+                        _eq.now());
             frame->written = true;
             _history.erase(m.addr);
         }
@@ -702,7 +703,7 @@ Slc::receive(const Message &m)
             // with this upgrade; the ack carries ownership of valid
             // memory data, so the read completes now.
             Addr daddr = e->demandAddr;
-            _m.eq().scheduleIn(_m.cfg().slcToCpuLat,
+            _eq.scheduleIn(_m.cfg().slcToCpuLat,
                     [this, daddr] { _cpu.readComplete(daddr); });
         }
         completeStores(*e);
@@ -775,7 +776,7 @@ Slc::receive(const Message &m)
 void
 Slc::finalizeStats()
 {
-    const Tick now = _m.eq().now();
+    const Tick now = _eq.now();
     _array.forEach([this, now](const CacheBlk &blk) {
         if (blk.prefetched) {
             ++pfUselessUnused;

@@ -97,9 +97,12 @@ class Slc
      * Pending transactions occupying SLWB data-buffer slots. Write
      * entries issued as upgrades await only an ownership ack and buffer
      * no data, so they do not consume a slot. Public so the interval
-     * sampler can probe buffer occupancy over time.
+     * sampler can probe buffer occupancy over time. Maintained
+     * incrementally -- this is probed on every admission and every
+     * prefetch candidate, and the old scan over the MSHR map was one of
+     * the top fig6 hot spots.
      */
-    std::size_t slwbOccupancy() const;
+    std::size_t slwbOccupancy() const { return _slwbOcc; }
 
     const CacheArray &array() const { return _array; }
 
@@ -173,6 +176,8 @@ class Slc
     void invalidateBlock(CacheBlk *blk, bool replacement);
 
     Machine &_m;
+    /** This node's event queue (per-shard in sharded mode). */
+    EventQueue &_eq;
     NodeId _id;
     Flc &_flc;
     Cpu &_cpu;
@@ -195,6 +200,8 @@ class Slc
     void agePrefetches();
 
     std::size_t _slwbCap;
+    /** Slot-occupying MSHRs (every kind except Write-as-upgrade). */
+    std::size_t _slwbOcc = 0;
     std::unordered_map<Addr, Mshr> _mshrs;
     std::unordered_set<Addr> _wbPending; ///< writebacks awaiting ack
     std::deque<Addr> _recentPrefetches;  ///< issue-order ring for aging

@@ -26,44 +26,6 @@ Mesh::nodeOf(int x, int y) const
     return static_cast<NodeId>(y * static_cast<int>(_cfg.meshCols) + x);
 }
 
-std::size_t
-Mesh::linkIndex(NodeId a, NodeId b) const
-{
-    Coord ca = coordOf(a);
-    Coord cb = coordOf(b);
-    unsigned dir;
-    if (cb.x == ca.x + 1 && cb.y == ca.y) {
-        dir = 0; // east
-    } else if (cb.x == ca.x - 1 && cb.y == ca.y) {
-        dir = 1; // west
-    } else if (cb.y == ca.y + 1 && cb.x == ca.x) {
-        dir = 2; // south
-    } else if (cb.y == ca.y - 1 && cb.x == ca.x) {
-        dir = 3; // north
-    } else {
-        psim_panic("nodes %u and %u are not mesh neighbours", a, b);
-    }
-    return static_cast<std::size_t>(a) * 4 + dir;
-}
-
-std::vector<NodeId>
-Mesh::route(NodeId src, NodeId dst) const
-{
-    std::vector<NodeId> path;
-    Coord cur = coordOf(src);
-    Coord end = coordOf(dst);
-    path.push_back(src);
-    while (cur.x != end.x) {
-        cur.x += (end.x > cur.x) ? 1 : -1;
-        path.push_back(nodeOf(cur.x, cur.y));
-    }
-    while (cur.y != end.y) {
-        cur.y += (end.y > cur.y) ? 1 : -1;
-        path.push_back(nodeOf(cur.x, cur.y));
-    }
-    return path;
-}
-
 unsigned
 Mesh::hops(NodeId src, NodeId dst) const
 {
@@ -73,8 +35,8 @@ Mesh::hops(NodeId src, NodeId dst) const
                                  std::abs(a.y - b.y));
 }
 
-void
-Mesh::send(NodeId src, NodeId dst, unsigned flits, DeliverFn deliver)
+Tick
+Mesh::traverse(NodeId src, NodeId dst, unsigned flits, Tick now)
 {
     psim_assert(src != dst, "mesh send to self");
     psim_assert(src < _cfg.numProcs && dst < _cfg.numProcs,
@@ -82,19 +44,34 @@ Mesh::send(NodeId src, NodeId dst, unsigned flits, DeliverFn deliver)
     if (_audit)
         _audit->onMeshInject(src, dst, flits);
 
-    const Tick now = _eq.now();
     const Tick worm = static_cast<Tick>(flits) * _cfg.netCycle;
+    const Tick fall = _cfg.fallThrough * _cfg.netCycle;
 
-    // Walk the head flit across the path. At each hop the head waits for
-    // the link to become free (wormhole back-pressure approximation) and
-    // pays the node fall-through latency; the worm body then holds the
-    // link for `flits` network cycles.
-    std::vector<NodeId> path = route(src, dst);
+    // Walk the head flit along the X-then-Y route. At each hop the head
+    // waits for the link to become free (wormhole back-pressure
+    // approximation) and pays the node fall-through latency; the worm
+    // body then holds the link for `flits` network cycles. The walk
+    // indexes links directly from the coordinates -- this is the
+    // per-message hot path, and materializing the route as a vector
+    // showed up as the top allocation site in the fig6 profile.
+    Coord cur = coordOf(src);
+    const Coord end = coordOf(dst);
     Tick head = now;
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-        Resource &link = _links[linkIndex(path[i], path[i + 1])];
-        Tick start = link.claim(head, worm);
-        head = start + _cfg.fallThrough * _cfg.netCycle;
+    while (cur.x != end.x) {
+        unsigned dir = end.x > cur.x ? 0u : 1u; // east : west
+        Resource &link =
+                _links[static_cast<std::size_t>(nodeOf(cur.x, cur.y)) * 4 +
+                       dir];
+        head = link.claim(head, worm) + fall;
+        cur.x += end.x > cur.x ? 1 : -1;
+    }
+    while (cur.y != end.y) {
+        unsigned dir = end.y > cur.y ? 2u : 3u; // south : north
+        Resource &link =
+                _links[static_cast<std::size_t>(nodeOf(cur.x, cur.y)) * 4 +
+                       dir];
+        head = link.claim(head, worm) + fall;
+        cur.y += end.y > cur.y ? 1 : -1;
     }
     Tick arrival = head + worm;
 
@@ -104,7 +81,13 @@ Mesh::send(NodeId src, NodeId dst, unsigned flits, DeliverFn deliver)
     if (_chrome)
         _chrome->meshMessage(src, dst, flits, now, arrival);
 
-    _eq.schedule(arrival, std::move(deliver));
+    return arrival;
+}
+
+void
+Mesh::send(NodeId src, NodeId dst, unsigned flits, DeliverFn deliver)
+{
+    _eq.schedule(traverse(src, dst, flits, _eq.now()), std::move(deliver));
 }
 
 } // namespace psim

@@ -210,6 +210,19 @@ struct MachineConfig
     /** Fault injection for oracle self-tests; inert by default. */
     TestHooks testHooks;
 
+    // ---- Execution engine ----
+
+    /**
+     * 0 (default): the classic serial event engine, byte-identical to
+     * every earlier release. N >= 1: the windowed parallel engine with
+     * N shards (clamped to numProcs), whose deterministic
+     * (tick, owner, counter) event order is identical at every shard
+     * count -- `shards = 1` is the single-threaded reference for
+     * `shards = 8`. The two engines order same-tick events differently,
+     * so their statistics are compared within a mode, not across modes.
+     */
+    unsigned shards = 0;
+
     // ---- Prefetching ----
 
     PrefetchConfig prefetch;

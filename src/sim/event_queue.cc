@@ -181,11 +181,67 @@ EventQueue::fire(const Next &n)
     psim_assert(e.when >= _now, "event queue went backwards");
     _now = e.when;
     Callback cb = std::move(e.cb);
+    _ctxOwner = e.owner;
     --_live;
     // Free the slot before invoking so the callback can schedule into
     // it; the generation bump keeps the old EventId stale.
     freeSlot(n.slot);
     cb();
+}
+
+Tick
+EventQueue::runWindow(Tick end)
+{
+    psim_assert(_shardOrder, "runWindow requires shard ordering");
+    Next n;
+    while (peekNext(n)) {
+        Tick t = _pool[n.slot].when;
+        if (t >= end)
+            break;
+        psim_assert(t >= _now, "event queue went backwards");
+
+        // Pull every event at tick t out of the wheel/heap into the
+        // staging heap. Bucket chains are FIFO by insertion, which in
+        // sharded mode is not seq order (a window-boundary delivery for
+        // a high-numbered owner may have been inserted before an
+        // in-window event of a low-numbered one); the heap restores the
+        // (owner, counter) order that makes firing shard-count
+        // invariant.
+        _stagingTick = t;
+        _stagingActive = true;
+        do {
+            const Event &e = _pool[n.slot];
+            StagedEntry staged{e.seq, n.slot, e.gen};
+            removeNext(n);
+            _staging.push_back(staged);
+            std::push_heap(_staging.begin(), _staging.end());
+        } while (peekNext(n) && _pool[n.slot].when == t);
+        _now = t;
+
+        // Drain in seq order. Callbacks may schedule further events at
+        // this same tick; schedule() feeds those straight into the
+        // staging heap, and per-owner counters are monotone, so a child
+        // always sorts after its (already fired) parent.
+        while (!_staging.empty()) {
+            std::pop_heap(_staging.begin(), _staging.end());
+            StagedEntry s = _staging.back();
+            _staging.pop_back();
+            Event &e = _pool[s.slot];
+            if (e.gen != s.gen)
+                continue; // slot freed (and possibly reused) already
+            if (!e.live) {
+                freeSlot(s.slot); // cancelled while staged
+                continue;
+            }
+            Callback cb = std::move(e.cb);
+            _ctxOwner = e.owner;
+            --_live;
+            freeSlot(s.slot);
+            cb();
+        }
+        _stagingActive = false;
+    }
+    return _now;
 }
 
 bool
@@ -232,6 +288,10 @@ EventQueue::reset()
     _live = 0;
     _now = 0;
     _nextSeq = 1;
+    _staging.clear();
+    _stagingActive = false;
+    _ctxOwner = 0;
+    _ownerCtr.assign(_ownerCtr.size(), 0);
 }
 
 } // namespace psim

@@ -18,11 +18,24 @@
  *    256-bucket time wheel whose occupied buckets are tracked in a
  *    bitmap; only schedules ≥ 256 ticks out touch the overflow binary
  *    heap.
+ *
+ * Sharded mode (setShardOrder) changes only the tie-break rule: instead
+ * of a queue-global insertion counter, every event carries an
+ * (owner, per-owner counter) key packed into `seq`, where the owner is
+ * the node on whose behalf the event was scheduled. Per-owner counters
+ * advance in each node's own deterministic event order, so the total
+ * (when, seq) order is identical no matter how nodes are partitioned
+ * into shards — the property the windowed parallel engine
+ * (sys/machine.cc runSharded) relies on for byte-identical statistics
+ * at every shard count. Because wheel buckets are FIFO by insertion
+ * (not by seq), sharded mode drains each tick through a small staging
+ * heap (runWindow) that restores seq order among same-tick events.
  */
 
 #ifndef PSIM_SIM_EVENT_QUEUE_HH
 #define PSIM_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -57,6 +70,28 @@ class EventQueue
     Tick now() const { return _now; }
 
     /**
+     * Switch to the sharded deterministic tie-break: events are ordered
+     * by (when, owner, per-owner counter) instead of (when, global
+     * counter). Must be called on an empty queue, before any schedule.
+     * @param num_owners one counter per machine node
+     */
+    void
+    setShardOrder(unsigned num_owners)
+    {
+        psim_assert(_live == 0, "setShardOrder on a non-empty queue");
+        _shardOrder = true;
+        _ownerCtr.assign(num_owners, 0);
+    }
+
+    /**
+     * Set the node on whose behalf subsequent schedules happen. In
+     * sharded mode runWindow() maintains this automatically (each event
+     * inherits the owner of the event that scheduled it); the machine
+     * sets it explicitly only for the initial per-node start events.
+     */
+    void setContextOwner(NodeId owner) { _ctxOwner = owner; }
+
+    /**
      * Schedule @p cb at absolute tick @p when.
      * @pre when >= now()
      * @return handle usable with cancel()
@@ -70,16 +105,46 @@ class EventQueue
         std::uint32_t slot = allocSlot();
         Event &e = _pool[slot];
         e.when = when;
-        e.seq = _nextSeq++;
+        if (_shardOrder) {
+            e.owner = _ctxOwner;
+            e.seq = (static_cast<std::uint64_t>(_ctxOwner) << 48) |
+                    _ownerCtr[_ctxOwner]++;
+        } else {
+            e.owner = 0;
+            e.seq = _nextSeq++;
+        }
         e.cb = std::move(cb);
         e.next = kNil;
         e.live = true;
-        if (when - _now < kWheelSize)
-            wheelInsert(slot, when);
-        else
-            heapInsert(slot, when, e.seq);
         ++_live;
+        if (_stagingActive && when == _stagingTick) {
+            // runWindow is draining this very tick: a same-tick child
+            // must enter the staging heap directly, where its seq places
+            // it relative to the entries still pending (a wheel bucket
+            // would only be looked at again next tick).
+            _staging.push_back(StagedEntry{e.seq, slot, e.gen});
+            std::push_heap(_staging.begin(), _staging.end());
+        } else if (when - _now < kWheelSize) {
+            wheelInsert(slot, when);
+        } else {
+            heapInsert(slot, when, e.seq);
+        }
         return makeId(e.gen, slot);
+    }
+
+    /**
+     * Schedule on behalf of node @p owner (cross-shard message delivery
+     * at a window boundary: the event's ordering key must be stamped
+     * from the destination node's counter, not the caller's context).
+     */
+    EventId
+    scheduleRemote(Tick when, NodeId owner, Callback cb)
+    {
+        NodeId saved = _ctxOwner;
+        _ctxOwner = owner;
+        EventId id = schedule(when, std::move(cb));
+        _ctxOwner = saved;
+        return id;
     }
 
     /** Schedule @p cb @p delta ticks from now. */
@@ -128,6 +193,33 @@ class EventQueue
      */
     Tick run(Tick limit = kTickNever);
 
+    /** Tick of the earliest live event, or kTickNever when drained. */
+    Tick
+    nextWhen()
+    {
+        Next n;
+        return peekNext(n) ? _pool[n.slot].when : kTickNever;
+    }
+
+    /**
+     * Jump time forward to @p t without running anything.
+     * @pre no live event is scheduled before @p t
+     */
+    void
+    advanceTo(Tick t)
+    {
+        psim_assert(t >= _now, "advanceTo into the past");
+        psim_assert(nextWhen() >= t, "advanceTo over a pending event");
+        _now = t;
+    }
+
+    /**
+     * Sharded mode: fire every event with when < @p end, draining each
+     * tick through the staging heap so same-tick events run in seq
+     * order regardless of which container held them. @return now().
+     */
+    Tick runWindow(Tick end);
+
     /** Drop all pending events and reset time to zero. */
     void reset();
 
@@ -144,7 +236,28 @@ class EventQueue
         Callback cb;
         std::uint32_t gen = 1;  ///< bumped on free; stale ids mismatch
         std::uint32_t next = kNil; ///< bucket chain or free list
+        NodeId owner = 0;       ///< sharded mode: scheduling node
         bool live = false;
+    };
+
+    /**
+     * One same-tick event pulled out of its container by runWindow,
+     * waiting in the staging min-heap for its seq-ordered turn. The
+     * (gen, live) pair is re-validated at pop: the event may have been
+     * cancelled while staged, and its slot may even have been freed and
+     * reused by an earlier same-tick callback.
+     */
+    struct StagedEntry
+    {
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t gen;
+
+        bool
+        operator<(const StagedEntry &o) const
+        {
+            return seq > o.seq; // std::push_heap max-heap -> min-seq top
+        }
     };
 
     /** Overflow heap entry for schedules beyond the wheel horizon. */
@@ -213,6 +326,14 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t _nextSeq = 1;
     std::size_t _live = 0;
+
+    // Sharded deterministic ordering (setShardOrder / runWindow).
+    bool _shardOrder = false;
+    bool _stagingActive = false;
+    Tick _stagingTick = 0;
+    NodeId _ctxOwner = 0;
+    std::vector<std::uint64_t> _ownerCtr; ///< per-node seq counters
+    std::vector<StagedEntry> _staging;    ///< same-tick reorder heap
 
     std::vector<Event> _pool;
     std::uint32_t _freeHead = kNil;

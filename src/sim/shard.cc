@@ -1,0 +1,71 @@
+#include "sim/shard.hh"
+
+namespace psim
+{
+
+namespace
+{
+
+/** Spin briefly, then yield: rounds are short but cores may be scarce. */
+template <typename Pred>
+void
+waitUntil(Pred &&done)
+{
+    for (int i = 0; i < 1024; ++i) {
+        if (done())
+            return;
+    }
+    while (!done())
+        std::this_thread::yield();
+}
+
+} // namespace
+
+ShardGang::ShardGang(unsigned nshards, std::function<void(unsigned)> body)
+    : _nshards(nshards), _body(std::move(body))
+{
+    _workers.reserve(nshards > 0 ? nshards - 1 : 0);
+    for (unsigned s = 1; s < nshards; ++s)
+        _workers.emplace_back([this, s] { workerLoop(s); });
+}
+
+ShardGang::~ShardGang()
+{
+    _stop.store(true, std::memory_order_release);
+    for (auto &w : _workers)
+        w.join();
+}
+
+void
+ShardGang::workerLoop(unsigned shard)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        waitUntil([&] {
+            return _stop.load(std::memory_order_acquire) ||
+                   _round.load(std::memory_order_acquire) != seen;
+        });
+        if (_stop.load(std::memory_order_acquire))
+            return;
+        seen = _round.load(std::memory_order_acquire);
+        _body(shard);
+        _pending.fetch_sub(1, std::memory_order_release);
+    }
+}
+
+void
+ShardGang::runRound()
+{
+    if (_nshards <= 1) {
+        _body(0);
+        return;
+    }
+    _pending.store(_nshards - 1, std::memory_order_relaxed);
+    _round.fetch_add(1, std::memory_order_release);
+    _body(0);
+    waitUntil([this] {
+        return _pending.load(std::memory_order_acquire) == 0;
+    });
+}
+
+} // namespace psim

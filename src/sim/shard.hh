@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Worker gang for the windowed parallel engine.
+ *
+ * One persistent thread per shard beyond the first (shard 0 runs on the
+ * caller's thread), released round-by-round: runRound() starts every
+ * shard's body concurrently and returns when all have finished. Rounds
+ * are short (one lookahead window), so the synchronization is a pair of
+ * atomics with a bounded spin before falling back to yield — on an
+ * oversubscribed host a pure spin would starve the very workers it is
+ * waiting for.
+ *
+ * Memory ordering contract: everything the caller wrote before
+ * runRound() is visible to every body, and everything any body wrote is
+ * visible to the caller after runRound() returns (release/acquire on
+ * the round and completion counters). Bodies must not touch shared
+ * state beyond that — the machine partitions all simulation state by
+ * shard and exchanges cross-shard messages between rounds.
+ */
+
+#ifndef PSIM_SIM_SHARD_HH
+#define PSIM_SIM_SHARD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace psim
+{
+
+class ShardGang
+{
+  public:
+    /**
+     * Spawn @p nshards - 1 workers, each running @p body(shard) once
+     * per round. @p body must stay valid for the gang's lifetime.
+     */
+    ShardGang(unsigned nshards, std::function<void(unsigned)> body);
+    ~ShardGang();
+
+    ShardGang(const ShardGang &) = delete;
+    ShardGang &operator=(const ShardGang &) = delete;
+
+    /** Run body(s) for every shard concurrently; blocks until done. */
+    void runRound();
+
+  private:
+    void workerLoop(unsigned shard);
+
+    unsigned _nshards;
+    std::function<void(unsigned)> _body;
+    std::atomic<std::uint64_t> _round{0}; ///< bumped to release workers
+    std::atomic<unsigned> _pending{0};    ///< workers still in a round
+    std::atomic<bool> _stop{false};
+    std::vector<std::thread> _workers;
+};
+
+} // namespace psim
+
+#endif // PSIM_SIM_SHARD_HH

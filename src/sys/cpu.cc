@@ -7,7 +7,7 @@ namespace psim
 {
 
 Cpu::Cpu(Machine &m, NodeId id, Flc &flc, Flwb &flwb)
-    : _m(m), _id(id), _flc(flc), _flwb(flwb)
+    : _m(m), _eq(m.eqOf(id)), _id(id), _flc(flc), _flwb(flwb)
 {
 }
 
@@ -25,11 +25,11 @@ Cpu::start()
         _finished = true;
         return;
     }
-    _m.eq().scheduleIn(0, [this] {
+    _eq.scheduleIn(0, [this] {
         _task.resume();
         if (_task.done() && !_finished) {
             _finished = true;
-            finishTick = static_cast<double>(_m.eq().now());
+            finishTick = static_cast<double>(_eq.now());
         }
     });
 }
@@ -60,14 +60,14 @@ void
 Cpu::resumeAt(Tick when)
 {
     psim_assert(_waiting, "cpu %u resume without a waiting thread", _id);
-    _m.eq().schedule(when, [this] {
+    _eq.schedule(when, [this] {
         auto h = _waiting;
         _waiting = nullptr;
         _pending = Pending::None;
         h.resume();
         if (_task.done() && !_finished) {
             _finished = true;
-            finishTick = static_cast<double>(_m.eq().now());
+            finishTick = static_cast<double>(_eq.now());
         }
     });
 }
@@ -75,7 +75,7 @@ Cpu::resumeAt(Tick when)
 void
 Cpu::resumeNow()
 {
-    resumeAt(_m.eq().now());
+    resumeAt(_eq.now());
 }
 
 void
@@ -94,7 +94,7 @@ Cpu::pushOrStall(const FlwbEntry &e, Pending after)
 void
 Cpu::pushed()
 {
-    const Tick now = _m.eq().now();
+    const Tick now = _eq.now();
     const FlwbEntry &e = *_pendingEntry;
     switch (_after) {
       case Pending::Read:
@@ -145,7 +145,7 @@ Cpu::issueLoad(Addr addr, Pc pc, std::coroutine_handle<> h)
 {
     ++loads;
     _waiting = h;
-    _opStart = _m.eq().now();
+    _opStart = _eq.now();
     if (_flc.probeRead(addr, _opStart)) {
         resumeAt(_opStart + _m.cfg().flcReadLat);
         return;
@@ -156,7 +156,7 @@ Cpu::issueLoad(Addr addr, Pc pc, std::coroutine_handle<> h)
     e.kind = FlwbEntry::Kind::ReadMiss;
     e.addr = addr;
     e.pc = pc;
-    _m.eq().scheduleIn(_m.cfg().flcReadLat,
+    _eq.scheduleIn(_m.cfg().flcReadLat,
             [this, e] { pushOrStall(e, Pending::Read); });
 }
 
@@ -165,7 +165,7 @@ Cpu::issueStore(Addr addr, Pc pc, std::coroutine_handle<> h)
 {
     ++stores;
     _waiting = h;
-    _opStart = _m.eq().now();
+    _opStart = _eq.now();
     _flc.probeWrite(addr, _opStart);
     FlwbEntry e;
     e.kind = FlwbEntry::Kind::Write;
@@ -179,7 +179,7 @@ Cpu::issueLock(Addr addr, std::coroutine_handle<> h)
 {
     ++locks;
     _waiting = h;
-    _opStart = _m.eq().now();
+    _opStart = _eq.now();
     FlwbEntry e;
     e.kind = FlwbEntry::Kind::Lock;
     e.addr = addr;
@@ -190,7 +190,7 @@ void
 Cpu::issueUnlock(Addr addr, std::coroutine_handle<> h)
 {
     _waiting = h;
-    _opStart = _m.eq().now();
+    _opStart = _eq.now();
     FlwbEntry e;
     e.kind = FlwbEntry::Kind::Unlock;
     e.addr = addr;
@@ -203,7 +203,7 @@ Cpu::issueBarrier(Addr addr, std::uint32_t participants,
 {
     ++barriers;
     _waiting = h;
-    _opStart = _m.eq().now();
+    _opStart = _eq.now();
     FlwbEntry e;
     e.kind = FlwbEntry::Kind::BarrierArrive;
     e.addr = addr;
@@ -216,7 +216,7 @@ Cpu::think(Tick cycles, std::coroutine_handle<> h)
 {
     _waiting = h;
     thinkTicks += static_cast<double>(cycles);
-    resumeAt(_m.eq().now() + (cycles ? cycles : 1));
+    resumeAt(_eq.now() + (cycles ? cycles : 1));
 }
 
 void
@@ -224,7 +224,7 @@ Cpu::readComplete(Addr addr)
 {
     psim_assert(_pending == Pending::Read,
             "cpu %u spurious read completion", _id);
-    const Tick now = _m.eq().now();
+    const Tick now = _eq.now();
     // Fill the FLC only if the SLC still holds the block: an
     // invalidation may have raced the one-pclock data return, and
     // inclusion requires the fill to be dropped in that case (the
@@ -248,7 +248,7 @@ Cpu::storePerformed()
         pushOrStall(*_pendingEntry, _after);
     } else if (_pending == Pending::Store) {
         writeStall += static_cast<double>(
-                _m.eq().now() - _opStart - _m.cfg().flcReadLat);
+                _eq.now() - _opStart - _m.cfg().flcReadLat);
         resumeNow();
     }
 }
@@ -259,7 +259,7 @@ Cpu::lockGranted()
     psim_assert(_pending == Pending::Lock,
             "cpu %u spurious lock grant", _id);
     lockStall += static_cast<double>(
-            _m.eq().now() - _opStart - _m.cfg().flcReadLat);
+            _eq.now() - _opStart - _m.cfg().flcReadLat);
     resumeNow();
 }
 
@@ -269,7 +269,7 @@ Cpu::barrierDone()
     psim_assert(_pending == Pending::Barrier,
             "cpu %u spurious barrier release", _id);
     barrierStall += static_cast<double>(
-            _m.eq().now() - _opStart - _m.cfg().flcReadLat);
+            _eq.now() - _opStart - _m.cfg().flcReadLat);
     resumeNow();
 }
 

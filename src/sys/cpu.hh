@@ -147,6 +147,8 @@ class Cpu
     void pushed();
 
     Machine &_m;
+    /** This node's event queue (per-shard in sharded mode). */
+    EventQueue &_eq;
     NodeId _id;
     Flc &_flc;
     Flwb &_flwb;

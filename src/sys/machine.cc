@@ -1,10 +1,12 @@
 #include "sys/machine.hh"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 
 #include "sim/logging.hh"
 #include "sim/sampler.hh"
+#include "sim/shard.hh"
 #include "trace/chrome_trace.hh"
 
 namespace psim
@@ -18,10 +20,38 @@ Machine::Machine(MachineConfig cfg)
     _cfg.validate();
     psim_assert(_cfg.numProcs <= 64,
             "directory presence mask supports at most 64 nodes");
+    if (_cfg.shards > 0) {
+        _nshards = std::min(_cfg.shards, _cfg.numProcs);
+        // Contiguous node blocks per shard; every queue orders events
+        // by (tick, owner node, per-node counter), so the partition
+        // never changes what fires when -- only on which thread.
+        _shardOfNode.resize(_cfg.numProcs);
+        for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+            _shardOfNode[n] = static_cast<unsigned>(
+                    static_cast<std::uint64_t>(n) * _nshards /
+                    _cfg.numProcs);
+        }
+        for (unsigned s = 0; s < _nshards; ++s) {
+            _shardEqs.push_back(std::make_unique<EventQueue>());
+            _shardEqs.back()->setShardOrder(_cfg.numProcs);
+        }
+        _outboxes.resize(_cfg.numProcs);
+        // Cross-shard lookahead: the cheapest possible remote message
+        // pays one node fall-through plus a header-only worm, so a
+        // message sent inside a window this wide can only arrive at or
+        // after its end (asserted per message in the exchange).
+        _windowLookahead = _cfg.fallThrough * _cfg.netCycle +
+                           _cfg.headerFlits * _cfg.netCycle;
+    }
     if (_cfg.audit && audit::compiledIn()) {
-        _audit = std::make_unique<audit::MachineAudit>(_cfg.numProcs,
-                _cfg.headerFlits);
-        _mesh.setAudit(_audit.get());
+        if (_nshards > 0) {
+            psim_warn("invariant audit is unavailable in sharded mode "
+                      "(shards=%u); running without it", _nshards);
+        } else {
+            _audit = std::make_unique<audit::MachineAudit>(_cfg.numProcs,
+                    _cfg.headerFlits);
+            _mesh.setAudit(_audit.get());
+        }
     }
     _nodes.reserve(_cfg.numProcs);
     for (NodeId n = 0; n < _cfg.numProcs; ++n)
@@ -56,6 +86,16 @@ Machine::send(const Message &m)
             return;
         }
         unsigned flits = _cfg.flitsFor(data ? _cfg.blockSize : 0);
+        if (_nshards > 0) {
+            // Mesh links are machine-global state (a message crosses
+            // other shards' rows and columns), so even a same-shard
+            // remote message waits in the outbox for the next window
+            // boundary, where the exchange walks it through the mesh
+            // single-threaded.
+            _outboxes[m.src].msgs.push_back(
+                    OutMsg{eqOf(m.src).now(), m, flits, data});
+            return;
+        }
         _mesh.send(m.src, m.dst, flits, [this, m, data] {
             _nodes[m.dst]->bus().transfer(data,
                     [this, m] { deliver(m); });
@@ -93,6 +133,8 @@ void
 Machine::enableTracing(TraceWriter &writer)
 {
     psim_assert(!_ran, "tracing must attach before run()");
+    psim_assert(_nshards == 0,
+            "tracing streams into one writer; serial engine only");
     for (auto &node : _nodes) {
         node->slc().setTraceSink(
                 [&writer](const TraceRecord &rec) { writer.append(rec); });
@@ -103,6 +145,9 @@ void
 Machine::enableSampling(Tick interval)
 {
     psim_assert(!_ran, "sampling must attach before run()");
+    psim_assert(_nshards == 0,
+            "the interval sampler drives the global queue; serial "
+            "engine only");
     psim_assert(!_sampler, "sampling already enabled");
     _sampler = std::make_unique<stats::Sampler>(_eq, interval);
     for (NodeId n = 0; n < _cfg.numProcs; ++n) {
@@ -133,6 +178,8 @@ void
 Machine::enableCommitRecording(check::CommitSink &sink)
 {
     psim_assert(!_ran, "commit recording must attach before run()");
+    psim_assert(_nshards == 0,
+            "commit recording streams into one sink; serial engine only");
     psim_assert(!_commitSink, "commit recording already enabled");
     _commitSink = &sink;
 }
@@ -141,6 +188,8 @@ void
 Machine::enableChromeTrace(Tick start, Tick end)
 {
     psim_assert(!_ran, "chrome tracing must attach before run()");
+    psim_assert(_nshards == 0,
+            "chrome tracing records into one buffer; serial engine only");
     psim_assert(!_chrome, "chrome tracing already enabled");
     _chrome = std::make_unique<ChromeTracer>(start, end);
     for (auto &node : _nodes)
@@ -152,6 +201,8 @@ Tick
 Machine::run(Tick limit)
 {
     _ran = true;
+    if (_nshards > 0)
+        return runSharded(limit);
     for (auto &node : _nodes)
         node->cpu().start();
     Tick end = _eq.run(limit);
@@ -162,6 +213,95 @@ Machine::run(Tick limit)
             _audit->finalize(*this);
     }
     return end;
+}
+
+Tick
+Machine::runSharded(Tick limit)
+{
+    // Stamp each node's start event from that node's own counter so the
+    // very first events already carry the canonical ordering keys.
+    for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+        eqOf(n).setContextOwner(n);
+        _nodes[n]->cpu().start();
+    }
+
+    ShardGang gang(_nshards, [this](unsigned s) {
+        _shardEqs[s]->runWindow(_windowEnd);
+    });
+
+    Tick end = 0;
+    for (;;) {
+        // Next window starts at the globally earliest pending event --
+        // a shard-count-invariant quantity, so window boundaries (and
+        // with them the exchange batches) are identical for every
+        // partition. Idle stretches are skipped entirely.
+        Tick start = kTickNever;
+        for (auto &eq : _shardEqs)
+            start = std::min(start, eq->nextWhen());
+        if (start == kTickNever) {
+            for (auto &eq : _shardEqs)
+                end = std::max(end, eq->now());
+            break;
+        }
+        if (start > limit) {
+            for (auto &eq : _shardEqs)
+                eq->advanceTo(limit);
+            end = limit;
+            break;
+        }
+        Tick wend = start + _windowLookahead;
+        if (limit != kTickNever)
+            wend = std::min(wend, limit + 1);
+        _windowEnd = wend;
+        gang.runRound();
+        exchangeShardMessages(wend);
+    }
+
+    if (allFinished()) {
+        for (auto &node : _nodes)
+            node->slc().finalizeStats();
+    }
+    return end;
+}
+
+void
+Machine::exchangeShardMessages(Tick window_end)
+{
+    // Canonical replay order: (send tick, source node, append index).
+    // Appends within one node happen in that node's deterministic event
+    // order, so this order -- and therefore every mesh link claim and
+    // mesh statistic -- is identical at every shard count.
+    _xfer.clear();
+    for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+        const auto &box = _outboxes[n].msgs;
+        for (std::uint32_t i = 0; i < box.size(); ++i)
+            _xfer.push_back(XferRef{box[i].sendTick, n, i});
+    }
+    std::sort(_xfer.begin(), _xfer.end(),
+            [](const XferRef &a, const XferRef &b) {
+                if (a.tick != b.tick)
+                    return a.tick < b.tick;
+                if (a.src != b.src)
+                    return a.src < b.src;
+                return a.idx < b.idx;
+            });
+    for (const XferRef &r : _xfer) {
+        const OutMsg &om = _outboxes[r.src].msgs[r.idx];
+        Tick arrival = _mesh.traverse(r.src, om.msg.dst, om.flits,
+                om.sendTick);
+        psim_assert(arrival >= window_end,
+                "cross-shard lookahead violated: arrival %llu < window "
+                "end %llu", (unsigned long long)arrival,
+                (unsigned long long)window_end);
+        Message m = om.msg;
+        bool data = om.data;
+        eqOf(m.dst).scheduleRemote(arrival, m.dst, [this, m, data] {
+            _nodes[m.dst]->bus().transfer(data,
+                    [this, m] { deliver(m); });
+        });
+    }
+    for (auto &box : _outboxes)
+        box.msgs.clear();
 }
 
 bool

@@ -84,6 +84,21 @@ class Machine
     Machine &operator=(const Machine &) = delete;
 
     EventQueue &eq() { return _eq; }
+
+    /**
+     * The event queue that drives node @p n: the per-shard queue in
+     * sharded mode (cfg.shards >= 1), the global queue otherwise.
+     * Every component of node n schedules exclusively through this.
+     */
+    EventQueue &
+    eqOf(NodeId n)
+    {
+        return _nshards ? *_shardEqs[_shardOfNode[n]] : _eq;
+    }
+
+    /** Number of shards (0 = classic serial engine). */
+    unsigned shards() const { return _nshards; }
+
     const MachineConfig &cfg() const { return _cfg; }
     BackingStore &store() { return _store; }
     Mesh &mesh() { return _mesh; }
@@ -193,12 +208,55 @@ class Machine
   private:
     void deliver(const Message &m);
 
+    /** The windowed parallel engine (cfg.shards >= 1). */
+    Tick runSharded(Tick limit);
+
+    /**
+     * Route every outboxed cross-node message at a window boundary:
+     * sort into the canonical (send tick, source, append index) order,
+     * walk each through the mesh, and schedule its delivery into the
+     * destination shard. Single-threaded; runs between windows.
+     */
+    void exchangeShardMessages(Tick window_end);
+
+    /** A cross-node message awaiting the next window boundary. */
+    struct OutMsg
+    {
+        Tick sendTick; ///< mesh-injection tick (src bus completion)
+        Message msg;
+        unsigned flits;
+        bool data;
+    };
+
+    /** Per-source-node outbox, padded so shards never share a line. */
+    struct alignas(64) Outbox
+    {
+        std::vector<OutMsg> msgs;
+    };
+
+    /** Sort key into the outboxes for one window's exchange. */
+    struct XferRef
+    {
+        Tick tick;
+        NodeId src;
+        std::uint32_t idx;
+    };
+
     MachineConfig _cfg;
     EventQueue _eq;
     BackingStore _store;
     /** Created before the mesh and nodes so they can wire into it. */
     std::unique_ptr<audit::MachineAudit> _audit;
     Mesh _mesh;
+    // Sharded-engine state; the queues must outlive the nodes wired to
+    // them, so everything here stays declared before _nodes.
+    std::vector<std::unique_ptr<EventQueue>> _shardEqs;
+    std::vector<unsigned> _shardOfNode;
+    std::vector<Outbox> _outboxes;
+    std::vector<XferRef> _xfer; ///< exchange scratch
+    unsigned _nshards = 0;
+    Tick _windowLookahead = 0;
+    Tick _windowEnd = 0; ///< written between rounds, read by workers
     std::vector<std::unique_ptr<Node>> _nodes;
     std::vector<std::unique_ptr<StrideCharacterizer>> _chars;
     /** Built in the constructor, after the nodes exist. */
