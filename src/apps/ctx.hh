@@ -244,19 +244,21 @@ class ThreadCtx
     record(check::AccessRecord::Kind kind, Addr addr, const void *value,
            std::size_t len)
     {
-        check::CommitSink *sink = _m.commitSink();
-        if (!sink)
+        if (!_m.commitSink())
             return;
         psim_assert(len <= sizeof(check::AccessRecord::value),
                 "access wider than an AccessRecord value");
         check::AccessRecord rec;
-        rec.tick = _m.eq().now();
+        // Stamp from the owning node's queue: under the sharded engine
+        // the global queue's clock does not advance, and the record's
+        // tick is this node's position in the canonical merge order.
+        rec.tick = _m.eqOf(_tid).now();
         rec.node = _tid;
         rec.kind = kind;
         rec.len = static_cast<std::uint8_t>(len);
         rec.addr = addr;
         std::memcpy(rec.value, value, len);
-        sink->onAccess(rec);
+        _m.commitAccess(rec);
     }
 
     Machine &_m;

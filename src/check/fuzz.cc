@@ -67,7 +67,7 @@ imageDigest(const BackingStore &store)
 
 MachineConfig
 configFor(const ProgramSpec &spec, PrefetchScheme scheme,
-          const TestHooks &hooks)
+          const TestHooks &hooks, unsigned shards)
 {
     MachineConfig cfg;
     cfg.numProcs = spec.threads;
@@ -77,6 +77,7 @@ configFor(const ProgramSpec &spec, PrefetchScheme scheme,
     cfg.prefetch.degree = spec.degree;
     cfg.seed = spec.seed;
     cfg.testHooks = hooks;
+    cfg.shards = shards;
     return cfg;
 }
 
@@ -84,9 +85,9 @@ configFor(const ProgramSpec &spec, PrefetchScheme scheme,
 
 SchemeRun
 runOneScheme(const ProgramSpec &spec, PrefetchScheme scheme,
-             const TestHooks &hooks, Tick tick_limit)
+             const TestHooks &hooks, Tick tick_limit, unsigned shards)
 {
-    MachineConfig cfg = configFor(spec, scheme, hooks);
+    MachineConfig cfg = configFor(spec, scheme, hooks, shards);
     Machine m(cfg);
     FuzzWorkload wl(spec);
     AccessLog log;
@@ -113,13 +114,13 @@ runOneScheme(const ProgramSpec &spec, PrefetchScheme scheme,
 
 bool
 specDiverges(const ProgramSpec &spec, const TestHooks &hooks,
-             Tick tick_limit, std::string *why)
+             Tick tick_limit, std::string *why, unsigned shards)
 {
     const auto &schemes = fuzzSchemes();
     std::vector<SchemeRun> runs;
     runs.reserve(schemes.size());
     for (PrefetchScheme s : schemes)
-        runs.push_back(runOneScheme(spec, s, hooks, tick_limit));
+        runs.push_back(runOneScheme(spec, s, hooks, tick_limit, shards));
 
     for (std::size_t i = 0; i < schemes.size(); ++i) {
         const char *name = toString(schemes[i]);
@@ -176,11 +177,12 @@ checkSeed(std::uint64_t seed, const FuzzOptions &opts)
 
     // Count checked loads from one representative run (baseline).
     SchemeRun base = runOneScheme(spec, PrefetchScheme::None,
-            opts.hooks, opts.tickLimit);
+            opts.hooks, opts.tickLimit, opts.shards);
     out.loadsChecked = base.oracle.loadsChecked;
 
     std::string why;
-    if (!specDiverges(spec, opts.hooks, opts.tickLimit, &why)) {
+    if (!specDiverges(spec, opts.hooks, opts.tickLimit, &why,
+                opts.shards)) {
         out.ok = true;
         return out;
     }
@@ -189,7 +191,7 @@ checkSeed(std::uint64_t seed, const FuzzOptions &opts)
     if (opts.shrink) {
         auto pred = [&opts](const ProgramSpec &s) {
             return specDiverges(s, opts.hooks, opts.tickLimit,
-                    nullptr);
+                    nullptr, opts.shards);
         };
         ShrinkResult res = shrink(spec, pred, opts.shrinkBudget);
         out.minimized = res.spec.describe();

@@ -20,7 +20,7 @@ MemCtrl::MemCtrl(Machine &m, NodeId id)
       })
 {
     _audit = m.auditor();
-    _locks.setAudit(_audit);
+    _locks.setAudit(_audit, _id);
     // The directory map sits on the hot path of every coherence message;
     // pre-size it and keep the load factor low to limit rehash churn.
     _dir.reserve(1024);

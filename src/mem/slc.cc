@@ -410,13 +410,13 @@ Slc::maybePrefetch(Addr trigger_addr, Pc pc,
         _mshrs.emplace(blk, e);
         ++_slwbOcc;
         ++pfIssued;
-        if (check::CommitSink *sink = _m.commitSink()) {
+        if (_m.commitSink()) {
             check::PrefetchIssueRecord rec;
             rec.tick = _eq.now();
             rec.node = _id;
             rec.trigger = trigger_addr;
             rec.block = blk;
-            sink->onPrefetchIssue(rec);
+            _m.commitPrefetchIssue(rec);
         }
         if (_chrome)
             _chrome->prefetchIssue(_id, blk, _eq.now());

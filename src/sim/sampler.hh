@@ -1,16 +1,28 @@
 /**
  * @file
- * EventQueue-driven interval sampler: a periodic, read-only snapshot of
- * selected statistics (read misses, prefetches issued/useful, write
- * buffer occupancies, network flits, ...) so the *phase behaviour* of a
+ * Interval sampler: a periodic, read-only snapshot of selected
+ * statistics (read misses, prefetches issued/useful, write buffer
+ * occupancies, network flits, ...) so the *phase behaviour* of a
  * workload becomes visible, not just its end-of-run aggregates.
  *
- * The sampler is pure observation: its events never mutate simulated
- * state and never change the relative order of other events, so a run
- * with sampling enabled produces byte-identical aggregate statistics to
- * one without (asserted by tests/test_stats_export.cc). It stops
- * rescheduling itself as soon as no other event is pending, so it never
- * keeps the event queue alive artificially.
+ * The sampler is pure observation: it never mutates simulated state and
+ * never changes the relative order of other events, so a run with
+ * sampling enabled produces byte-identical aggregate statistics to one
+ * without (asserted by tests/test_stats_export.cc).
+ *
+ * Two drive modes share the row buffer and the dump formats:
+ *
+ *  - Event-driven (serial engine): start() schedules a self-renewing
+ *    event on the global queue. It stops rescheduling itself as soon as
+ *    no other event is pending, so it never keeps the queue alive
+ *    artificially.
+ *  - Boundary-driven (sharded engine): the machine calls sampleAt() at
+ *    the first natural window boundary at or after each sample tick.
+ *    All events below that boundary have fired and none at or above it
+ *    has, so the snapshot is a quiescent cut; windows themselves are
+ *    never reshaped by sampling, so the run is provably unperturbed,
+ *    and window starts are shard-count-invariant, so rows are
+ *    byte-identical at every shard count.
  */
 
 #ifndef PSIM_SIM_SAMPLER_HH
@@ -30,17 +42,30 @@ namespace psim::stats
 class Sampler
 {
   public:
-    /** @param interval ticks between snapshots (must be > 0) */
+    /**
+     * Event-driven mode (serial engine).
+     * @param interval ticks between snapshots (must be > 0)
+     */
     Sampler(EventQueue &eq, Tick interval);
+
+    /** Boundary-driven mode (sharded engine): drive via sampleAt(). */
+    explicit Sampler(Tick interval);
 
     Sampler(const Sampler &) = delete;
     Sampler &operator=(const Sampler &) = delete;
 
-    /** Register a named probe; call before start(). */
+    /** Register a named probe; call before the first snapshot. */
     void addProbe(std::string name, std::function<double()> fn);
 
-    /** Schedule the first snapshot (at tick now + interval). */
+    /** Event-driven only: schedule the first snapshot at now + interval. */
     void start();
+
+    /**
+     * Boundary-driven only: record one row stamped with tick @p t. The
+     * machine calls this between windows once the next window start has
+     * reached @p t, so the cut is quiescent at that boundary.
+     */
+    void sampleAt(Tick t);
 
     Tick interval() const { return _interval; }
     const std::vector<std::string> &probeNames() const { return _names; }
@@ -65,8 +90,9 @@ class Sampler
 
   private:
     void tick();
+    void snapshot(Tick t);
 
-    EventQueue &_eq;
+    EventQueue *_eq; ///< null in boundary-driven mode
     Tick _interval;
     std::vector<std::string> _names;
     std::vector<std::function<double()>> _probes;

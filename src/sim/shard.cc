@@ -56,7 +56,11 @@ ShardGang::workerLoop(unsigned shard)
 void
 ShardGang::runRound()
 {
-    if (_nshards <= 1) {
+    // A zero-shard gang has no shards to run: body(0) would invoke the
+    // callback for a shard that does not exist.
+    if (_nshards == 0)
+        return;
+    if (_nshards == 1) {
         _body(0);
         return;
     }

@@ -43,7 +43,11 @@ class ShardGang
     ShardGang(const ShardGang &) = delete;
     ShardGang &operator=(const ShardGang &) = delete;
 
-    /** Run body(s) for every shard concurrently; blocks until done. */
+    /**
+     * Run body(s) exactly once for every shard concurrently; blocks
+     * until done. A gang of zero shards runs nothing; a gang of one
+     * runs body(0) on the caller's thread with no synchronization.
+     */
     void runRound();
 
   private:

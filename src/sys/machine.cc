@@ -44,14 +44,12 @@ Machine::Machine(MachineConfig cfg)
                            _cfg.headerFlits * _cfg.netCycle;
     }
     if (_cfg.audit && audit::compiledIn()) {
-        if (_nshards > 0) {
-            psim_warn("invariant audit is unavailable in sharded mode "
-                      "(shards=%u); running without it", _nshards);
-        } else {
-            _audit = std::make_unique<audit::MachineAudit>(_cfg.numProcs,
-                    _cfg.headerFlits);
-            _mesh.setAudit(_audit.get());
-        }
+        // The audit is shard-safe: per-node trackers are only touched
+        // by their node's owning shard, lock rings are per home node,
+        // and the one cross-shard counter (mesh deliveries) is atomic.
+        _audit = std::make_unique<audit::MachineAudit>(_cfg.numProcs,
+                _cfg.headerFlits);
+        _mesh.setAudit(_audit.get());
     }
     _nodes.reserve(_cfg.numProcs);
     for (NodeId n = 0; n < _cfg.numProcs; ++n)
@@ -130,11 +128,25 @@ Machine::enableCharacterizers(unsigned min_run)
 }
 
 void
+Machine::requireSerialEngine(const char *what) const
+{
+    // The one consistent gate for serial-only observers: fail loudly
+    // (never warn-and-disable) with one message shape, so a sharded
+    // run can never silently lose an observer the caller asked for.
+    psim_assert(_nshards == 0,
+            "%s is not shard-aware: it needs the serial engine "
+            "(--shards 0), got shards=%u", what, _nshards);
+}
+
+void
 Machine::enableTracing(TraceWriter &writer)
 {
     psim_assert(!_ran, "tracing must attach before run()");
-    psim_assert(_nshards == 0,
-            "tracing streams into one writer; serial engine only");
+    // The binary SLC trace interleaves per-request records into one
+    // append-only writer whose record order is the contract checked by
+    // trace_tool; there is no per-node staging representation to merge,
+    // so it stays serial-only.
+    requireSerialEngine("the binary SLC reference trace");
     for (auto &node : _nodes) {
         node->slc().setTraceSink(
                 [&writer](const TraceRecord &rec) { writer.append(rec); });
@@ -145,11 +157,15 @@ void
 Machine::enableSampling(Tick interval)
 {
     psim_assert(!_ran, "sampling must attach before run()");
-    psim_assert(_nshards == 0,
-            "the interval sampler drives the global queue; serial "
-            "engine only");
     psim_assert(!_sampler, "sampling already enabled");
-    _sampler = std::make_unique<stats::Sampler>(_eq, interval);
+    if (_nshards > 0) {
+        // Boundary-driven: runSharded feeds sampleAt() at the first
+        // window boundary at or after each sample tick; windows are
+        // never reshaped, so sampling cannot perturb the run.
+        _sampler = std::make_unique<stats::Sampler>(interval);
+    } else {
+        _sampler = std::make_unique<stats::Sampler>(_eq, interval);
+    }
     for (NodeId n = 0; n < _cfg.numProcs; ++n) {
         Node *node = _nodes[n].get();
         std::string prefix = "node" + std::to_string(n);
@@ -171,27 +187,28 @@ Machine::enableSampling(Tick interval)
     }
     _sampler->addProbe("mesh.flits",
             [this] { return _mesh.flitsInjected.value(); });
-    _sampler->start();
+    if (_nshards == 0)
+        _sampler->start();
 }
 
 void
 Machine::enableCommitRecording(check::CommitSink &sink)
 {
     psim_assert(!_ran, "commit recording must attach before run()");
-    psim_assert(_nshards == 0,
-            "commit recording streams into one sink; serial engine only");
     psim_assert(!_commitSink, "commit recording already enabled");
     _commitSink = &sink;
+    if (_nshards > 0)
+        _commitLanes = std::vector<CommitLane>(_cfg.numProcs);
 }
 
 void
 Machine::enableChromeTrace(Tick start, Tick end)
 {
     psim_assert(!_ran, "chrome tracing must attach before run()");
-    psim_assert(_nshards == 0,
-            "chrome tracing records into one buffer; serial engine only");
     psim_assert(!_chrome, "chrome tracing already enabled");
     _chrome = std::make_unique<ChromeTracer>(start, end);
+    if (_nshards > 0)
+        _chrome->enableStaging(_cfg.numProcs);
     for (auto &node : _nodes)
         node->slc().setChromeTracer(_chrome.get());
     _mesh.setChromeTracer(_chrome.get());
@@ -229,6 +246,20 @@ Machine::runSharded(Tick limit)
         _shardEqs[s]->runWindow(_windowEnd);
     });
 
+    // Next sample tick, when sampling is on. Rows are emitted at the
+    // first natural window boundary at or after each sample tick: once
+    // nextSample <= start, every event below start has fired and none
+    // at or above it has, so the snapshot is a quiescent cut. Windows
+    // themselves are never altered by sampling -- shrinking a window
+    // would change where cross-shard deliveries land relative to a
+    // destination's own later schedules, permuting per-owner sequence
+    // counters and with them same-tick tie-breaks; leaving boundaries
+    // untouched makes sampling provably read-only, and because window
+    // starts are shard-count-invariant the rows are byte-identical at
+    // every shard count.
+    Tick nextSample = _sampler ? _sampler->interval() : 0;
+    bool quiesced = false;
+
     Tick end = 0;
     for (;;) {
         // Next window starts at the globally earliest pending event --
@@ -241,6 +272,7 @@ Machine::runSharded(Tick limit)
         if (start == kTickNever) {
             for (auto &eq : _shardEqs)
                 end = std::max(end, eq->now());
+            quiesced = true;
             break;
         }
         if (start > limit) {
@@ -249,19 +281,90 @@ Machine::runSharded(Tick limit)
             end = limit;
             break;
         }
+        if (_sampler) {
+            while (nextSample <= start) {
+                _sampler->sampleAt(nextSample);
+                nextSample += _sampler->interval();
+            }
+        }
         Tick wend = start + _windowLookahead;
         if (limit != kTickNever)
             wend = std::min(wend, limit + 1);
         _windowEnd = wend;
         gang.runRound();
+        // Observer lanes first (their ops happened inside the window),
+        // then the exchange (whose mesh transits chronologically follow
+        // into the chrome buffer, already in canonical order).
+        drainObservers(wend);
         exchangeShardMessages(wend);
     }
+
+    // Mirror the event-driven sampler's trailing row: it stops
+    // rescheduling only after observing a drained queue, so the last
+    // snapshot falls within one interval after the final event.
+    if (_sampler && quiesced)
+        _sampler->sampleAt(nextSample);
 
     if (allFinished()) {
         for (auto &node : _nodes)
             node->slc().finalizeStats();
+        if (_audit)
+            _audit->finalize(*this);
     }
     return end;
+}
+
+void
+Machine::drainObservers(Tick window_end)
+{
+    if (_chrome)
+        _chrome->drainStaged(window_end);
+    if (_commitSink)
+        drainCommitLanes(window_end);
+}
+
+void
+Machine::drainCommitLanes(Tick window_end)
+{
+    // Same canonical (tick, node, per-node append index) order as the
+    // message exchange and the chrome drain: identical to the order a
+    // --shards 1 run calls the sink in, because same-tick events fire
+    // node-major and appends within one node are tick-monotone.
+    auto byTick = [](const XferRef &a, const XferRef &b) {
+        if (a.tick != b.tick)
+            return a.tick < b.tick;
+        if (a.src != b.src)
+            return a.src < b.src;
+        return a.idx < b.idx;
+    };
+
+    _xfer.clear();
+    for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+        const auto &lane = _commitLanes[n].accesses;
+        for (std::uint32_t i = 0; i < lane.size(); ++i) {
+            psim_assert(lane[i].tick < window_end,
+                    "staged commit record beyond its window");
+            _xfer.push_back(XferRef{lane[i].tick, n, i});
+        }
+    }
+    std::sort(_xfer.begin(), _xfer.end(), byTick);
+    for (const XferRef &r : _xfer)
+        _commitSink->onAccess(_commitLanes[r.src].accesses[r.idx]);
+
+    _xfer.clear();
+    for (NodeId n = 0; n < _cfg.numProcs; ++n) {
+        const auto &lane = _commitLanes[n].prefetches;
+        for (std::uint32_t i = 0; i < lane.size(); ++i)
+            _xfer.push_back(XferRef{lane[i].tick, n, i});
+    }
+    std::sort(_xfer.begin(), _xfer.end(), byTick);
+    for (const XferRef &r : _xfer)
+        _commitSink->onPrefetchIssue(_commitLanes[r.src].prefetches[r.idx]);
+
+    for (CommitLane &lane : _commitLanes) {
+        lane.accesses.clear();
+        lane.prefetches.clear();
+    }
 }
 
 void

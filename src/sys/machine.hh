@@ -15,6 +15,7 @@
 #include <ostream>
 #include <vector>
 
+#include "check/access_log.hh"
 #include "core/characterizer.hh"
 #include "mem/backing_store.hh"
 #include "net/mesh.hh"
@@ -35,11 +36,6 @@ class ChromeTracer;
 namespace stats
 {
 class Sampler;
-}
-
-namespace check
-{
-class CommitSink;
 }
 
 /** The headline numbers of one simulation run (Figure 6 inputs). */
@@ -175,6 +171,34 @@ class Machine
     check::CommitSink *commitSink() const { return _commitSink; }
 
     /**
+     * Producer entry points for commit recording (ctx.hh value-commit
+     * points and the Slc's prefetch-issue site). Serial engine: forward
+     * straight to the sink in execution order. Sharded engine: append
+     * to the producing node's staging lane; the machine merges lanes at
+     * every window boundary in canonical (tick, node, index) order.
+     * @pre commitSink() != nullptr
+     */
+    void
+    commitAccess(const check::AccessRecord &rec)
+    {
+        if (_nshards > 0) {
+            _commitLanes[rec.node].accesses.push_back(rec);
+            return;
+        }
+        _commitSink->onAccess(rec);
+    }
+
+    void
+    commitPrefetchIssue(const check::PrefetchIssueRecord &rec)
+    {
+        if (_nshards > 0) {
+            _commitLanes[rec.node].prefetches.push_back(rec);
+            return;
+        }
+        _commitSink->onPrefetchIssue(rec);
+    }
+
+    /**
      * Start every bound thread and run the machine until all threads
      * finish (or @p limit ticks pass). @return final tick.
      */
@@ -208,6 +232,12 @@ class Machine
   private:
     void deliver(const Message &m);
 
+    /**
+     * Loud, uniform gate for the observers that genuinely cannot run
+     * under the sharded engine (today: only the binary SLC trace).
+     */
+    void requireSerialEngine(const char *what) const;
+
     /** The windowed parallel engine (cfg.shards >= 1). */
     Tick runSharded(Tick limit);
 
@@ -218,6 +248,16 @@ class Machine
      * destination shard. Single-threaded; runs between windows.
      */
     void exchangeShardMessages(Tick window_end);
+
+    /**
+     * Merge every observer's per-node staging lanes at a window
+     * boundary (chrome ops, then -- via the exchange that follows --
+     * mesh transits; commit records independently). Single-threaded.
+     */
+    void drainObservers(Tick window_end);
+
+    /** Forward staged commit records to the sink in canonical order. */
+    void drainCommitLanes(Tick window_end);
 
     /** A cross-node message awaiting the next window boundary. */
     struct OutMsg
@@ -242,6 +282,18 @@ class Machine
         std::uint32_t idx;
     };
 
+    /**
+     * Per-node commit-record staging lane (sharded engine), padded so
+     * producer shards never share a cache line. Appends are tick-
+     * monotone within a lane; the boundary merge restores the global
+     * order.
+     */
+    struct alignas(64) CommitLane
+    {
+        std::vector<check::AccessRecord> accesses;
+        std::vector<check::PrefetchIssueRecord> prefetches;
+    };
+
     MachineConfig _cfg;
     EventQueue _eq;
     BackingStore _store;
@@ -264,6 +316,7 @@ class Machine
     std::unique_ptr<stats::Sampler> _sampler;
     std::unique_ptr<ChromeTracer> _chrome;
     check::CommitSink *_commitSink = nullptr;
+    std::vector<CommitLane> _commitLanes; ///< sized when sharded
     bool _ran = false;
 };
 

@@ -14,6 +14,7 @@
  *     --block BYTES      cache block size (default 32)
  *     --scale N          data-set scale (default 1)
  *     --seed N           PRNG seed (default 12345)
+ *     --shards N         windowed parallel engine with N shards (0=serial)
  *     --stats            dump per-node statistics
  *     --characterize     print Table-2 style characteristics (node 0)
  *     --trace FILE       write the SLC reference trace to FILE
@@ -36,6 +37,7 @@
  *     --repro-out FILE   write failing-seed repro report to FILE
  *     --tick-limit N     per-run quiesce deadline in ticks
  *     --mutant NAME      fault injection: corrupt-load|drop-store|page-cross
+ *     --shards N         run every machine on the sharded engine
  */
 
 #include <cstdio>
@@ -65,7 +67,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
             "usage: %s [--workload NAME] [--scheme NAME] [--degree N]\n"
             "          [--procs N] [--slc BYTES] [--block BYTES]\n"
-            "          [--scale N] [--seed N] [--stats]\n"
+            "          [--scale N] [--seed N] [--shards N] [--stats]\n"
             "          [--characterize] [--trace FILE]\n"
             "          [--stats-json FILE] [--sample-interval N]\n"
             "          [--sample-csv FILE] [--chrome-trace FILE]\n"
@@ -93,7 +95,7 @@ fuzzUsage(const char *argv0)
     std::fprintf(stderr,
             "usage: %s fuzz [--seeds N] [--seed-start S] [--seed X]...\n"
             "          [--corpus FILE] [--jobs N] [--no-shrink]\n"
-            "          [--repro-out FILE] [--tick-limit N]\n"
+            "          [--repro-out FILE] [--tick-limit N] [--shards N]\n"
             "          [--mutant corrupt-load|drop-store|page-cross]\n",
             argv0);
     std::exit(2);
@@ -161,6 +163,8 @@ fuzzMain(int argc, char **argv)
             opts.reproPath = value();
         } else if (arg == "--tick-limit") {
             opts.tickLimit = static_cast<Tick>(atoll(value()));
+        } else if (arg == "--shards") {
+            opts.shards = static_cast<unsigned>(atoi(value()));
         } else if (arg == "--mutant") {
             std::string m = value();
             if (m == "corrupt-load")
@@ -229,6 +233,8 @@ main(int argc, char **argv)
             opts.scale = static_cast<unsigned>(atoi(value()));
         } else if (arg == "--seed") {
             cfg.seed = static_cast<std::uint64_t>(atoll(value()));
+        } else if (arg == "--shards") {
+            cfg.shards = static_cast<unsigned>(atoi(value()));
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--characterize") {
