@@ -1,68 +1,15 @@
 /**
  * @file
- * Ablation: cache block size (paper Section 4).
- *
- * The paper "pessimistically" evaluates 32-byte blocks, noting that a
- * larger block size would favour sequential prefetching for large
- * strides (and cites earlier 128-byte-block results). This harness
- * compares 32 B and 128 B blocks for the baseline and sequential
- * prefetching across the six applications, reporting how many read
- * misses sequential prefetching removes at each block size. The
- * (app, block, scheme) runs are independent grid cells.
+ * Thin shim: this legacy binary now runs specs/ablation_blocksize.json through the
+ * shared spec driver (bench/spec_main.hh). The printed table and its
+ * flags are unchanged; the machine-readable output is the canonical
+ * psim-results-v1 document (default BENCH_ablation_blocksize.json).
  */
 
-#include "common.hh"
-
-using namespace psim;
-using namespace psim::bench;
+#include "spec_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseBenchArgs(argc, argv);
-    const WallTimer wall;
-    const std::vector<std::string> &workloads = opt.workloads();
-    const std::vector<unsigned> blocks = {32, 128};
-
-    // Cell layout per app: [base@32, seq@32, base@128, seq@128].
-    const std::size_t per_app = blocks.size() * 2;
-    std::vector<RunMetrics> results(workloads.size() * per_app);
-    runGrid(results.size(), resolveJobs(opt.jobs), [&](std::size_t i) {
-        const std::string &name = workloads[i / per_app];
-        std::size_t k = i % per_app;
-        unsigned block = blocks[k / 2];
-        bool seq = k % 2 == 1;
-        MachineConfig cfg = seq ? paperConfig(PrefetchScheme::Sequential)
-                                : paperConfig();
-        cfg.blockSize = block;
-        std::string cell = name + "-" + (seq ? "seq" : "base") + "-" +
-                           std::to_string(block) + "B";
-        results[i] = runChecked(name, cfg, opt.runOptions(cell)).metrics;
-        progress(name.c_str(), seq ? "seq" : "base");
-    });
-
-    std::printf("Ablation: block size 32 B vs 128 B (16 procs, "
-                "infinite SLC, d = 1)\n");
-    std::printf("paper: larger blocks make sequential prefetching "
-                "effective for larger strides\n\n");
-    hr(92);
-    std::printf("%-10s %6s %14s %14s %14s %14s\n", "app", "block",
-                "base misses", "seq misses", "seq rel", "seq pf eff");
-    hr(92);
-
-    for (std::size_t w = 0; w < workloads.size(); ++w) {
-        const std::string &name = workloads[w];
-        for (std::size_t b = 0; b < blocks.size(); ++b) {
-            const RunMetrics &base = results[w * per_app + b * 2];
-            const RunMetrics &seq = results[w * per_app + b * 2 + 1];
-            std::printf("%-10s %5uB %14.0f %14.0f %14.2f %s\n",
-                        name.c_str(), blocks[b], base.readMisses,
-                        seq.readMisses,
-                        seq.readMisses / base.readMisses,
-                        fmtEff(seq.prefetchEfficiency(), 14).c_str());
-        }
-        hr(92);
-    }
-    wall.report();
-    return 0;
+    return psim::bench::runSpecMain("ablation_blocksize", argc, argv);
 }

@@ -1,83 +1,15 @@
 /**
  * @file
- * Ablation: the degree of prefetching d (paper Section 6).
- *
- * The paper reports (citing the authors' technical report [9]) that
- * with this prefetching-phase mechanism there was "little difference
- * between different values of d", which is why Figure 6 uses d = 1.
- * This harness sweeps d in {1, 2, 4, 8} for sequential and I-detection
- * prefetching on three contrasting applications: LU (unit stride),
- * Ocean (large stride) and MP3D (little stride). All (app, scheme, d)
- * runs — including each app's baseline — are independent grid cells.
+ * Thin shim: this legacy binary now runs specs/ablation_degree.json through the
+ * shared spec driver (bench/spec_main.hh). The printed table and its
+ * flags are unchanged; the machine-readable output is the canonical
+ * psim-results-v1 document (default BENCH_ablation_degree.json).
  */
 
-#include "common.hh"
-
-using namespace psim;
-using namespace psim::bench;
+#include "spec_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseBenchArgs(argc, argv);
-    const WallTimer wall;
-
-    const std::vector<unsigned> degrees = {1, 2, 4, 8};
-    const std::vector<std::string> workloads = {"lu", "ocean", "mp3d"};
-    const std::vector<PrefetchScheme> schemes = {
-        PrefetchScheme::Sequential, PrefetchScheme::IDet};
-
-    // Cell layout per app: [baseline, scheme0 x degrees, scheme1 x
-    // degrees] — 1 + 2*4 = 9 cells per app.
-    const std::size_t per_app = 1 + schemes.size() * degrees.size();
-    std::vector<RunMetrics> results(workloads.size() * per_app);
-    runGrid(results.size(), resolveJobs(opt.jobs), [&](std::size_t i) {
-        const std::string &name = workloads[i / per_app];
-        std::size_t k = i % per_app;
-        if (k == 0) {
-            results[i] = runChecked(name, paperConfig(),
-                    opt.runOptions(name + "-baseline")).metrics;
-            progress(name.c_str(), "baseline");
-            return;
-        }
-        PrefetchScheme scheme = schemes[(k - 1) / degrees.size()];
-        unsigned d = degrees[(k - 1) % degrees.size()];
-        MachineConfig cfg = paperConfig(scheme);
-        cfg.prefetch.degree = d;
-        std::string cell = name + "-" + toString(scheme) + "-d" +
-                           std::to_string(d);
-        results[i] = runChecked(name, cfg, opt.runOptions(cell)).metrics;
-        progress(name.c_str(), toString(scheme));
-    });
-
-    std::printf("Ablation: degree of prefetching d (16 procs, "
-                "infinite SLC)\n");
-    std::printf("paper: \"little difference between different values "
-                "of d\" for this prefetch phase\n\n");
-    hr(92);
-    std::printf("%-8s %-7s %4s %14s %14s %10s %12s\n", "app", "scheme",
-                "d", "rel misses", "rel stall", "pf eff", "rel flits");
-    hr(92);
-
-    for (std::size_t w = 0; w < workloads.size(); ++w) {
-        const std::string &name = workloads[w];
-        const RunMetrics &base = results[w * per_app];
-        for (std::size_t s = 0; s < schemes.size(); ++s) {
-            for (std::size_t di = 0; di < degrees.size(); ++di) {
-                const RunMetrics &run = results[w * per_app + 1 +
-                                                s * degrees.size() + di];
-                std::printf("%-8s %-7s %4u %14.2f %14.2f %s "
-                            "%12.2f\n",
-                            name.c_str(), toString(schemes[s]),
-                            degrees[di],
-                            run.readMisses / base.readMisses,
-                            run.readStall / base.readStall,
-                            fmtEff(run.prefetchEfficiency(), 10).c_str(),
-                            run.flits / base.flits);
-            }
-        }
-        hr(92);
-    }
-    wall.report();
-    return 0;
+    return psim::bench::runSpecMain("ablation_degree", argc, argv);
 }

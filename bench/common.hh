@@ -21,6 +21,7 @@
 
 #include "apps/driver.hh"
 #include "sim/parallel.hh"
+#include "sim/parse.hh"
 
 namespace psim::bench
 {
@@ -35,6 +36,7 @@ struct BenchOptions
 {
     unsigned jobs = 0;        ///< 0: PSIM_JOBS env, else hardware
     std::string jsonPath;     ///< empty: no machine-readable output
+    std::string spec;         ///< --spec: name or path of the spec
     std::vector<std::string> apps; ///< empty: the paper's six
     /** Intra-run shards per machine (0: classic serial engine). */
     unsigned shards = 0;
@@ -46,20 +48,13 @@ struct BenchOptions
     /**
      * Apply the machine-shape flags (--procs, --shards) to one cell's
      * config. The mesh is kept as square as the processor count allows
-     * (the largest divisor no greater than the square root).
+     * (applyProcCount(); awkward counts warn, see EXPERIMENTS.md).
      */
     void
     applyMachine(MachineConfig &cfg) const
     {
-        if (procs) {
-            cfg.numProcs = procs;
-            unsigned d = 1;
-            for (unsigned c = 1; c * c <= procs; ++c) {
-                if (procs % c == 0)
-                    d = c; // largest divisor <= sqrt(procs)
-            }
-            cfg.meshCols = procs / d;
-        }
+        if (procs)
+            applyProcCount(cfg, procs);
         cfg.shards = shards;
     }
 
@@ -102,27 +97,17 @@ parseBenchArgs(int argc, char **argv)
         if (opt.obs.parseArg(argc, argv, &i)) {
             // consumed an observability flag
         } else if (arg == "--jobs" || arg == "-j") {
-            opt.jobs = static_cast<unsigned>(
-                    std::strtoul(value("--jobs").c_str(), nullptr, 10));
-            if (opt.jobs == 0)
-                psim_fatal("--jobs must be a positive integer");
+            opt.jobs = parseUnsignedFlag("--jobs", value("--jobs"));
         } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
-            opt.jobs = static_cast<unsigned>(
-                    std::strtoul(arg.c_str() + 2, nullptr, 10));
-            if (opt.jobs == 0)
-                psim_fatal("-jN must be a positive integer");
-        } else if (arg == "--json") {
+            opt.jobs = parseUnsignedFlag("-jN", arg.substr(2));
+        } else if (arg == "--json" || arg == "--out") {
             opt.jsonPath = value("--json");
+        } else if (arg == "--spec") {
+            opt.spec = value("--spec");
         } else if (arg == "--shards") {
-            opt.shards = static_cast<unsigned>(
-                    std::strtoul(value("--shards").c_str(), nullptr, 10));
-            if (opt.shards == 0)
-                psim_fatal("--shards must be a positive integer");
+            opt.shards = parseUnsignedFlag("--shards", value("--shards"));
         } else if (arg == "--procs") {
-            opt.procs = static_cast<unsigned>(
-                    std::strtoul(value("--procs").c_str(), nullptr, 10));
-            if (opt.procs == 0)
-                psim_fatal("--procs must be a positive integer");
+            opt.procs = parseUnsignedFlag("--procs", value("--procs"));
         } else if (arg == "--apps") {
             std::string list = value("--apps");
             std::size_t pos = 0;
@@ -138,7 +123,8 @@ parseBenchArgs(int argc, char **argv)
                 psim_fatal("--apps needs a comma-separated list");
         } else {
             psim_fatal("unknown argument '%s' "
-                       "(supported: --jobs N, --json PATH, --apps a,b, "
+                       "(supported: --spec NAME|PATH, --jobs N, "
+                       "--json/--out PATH, --apps a,b, "
                        "--shards N, --procs N, "
                        "--stats-json PREFIX, --sample-interval N, "
                        "--sample-csv PREFIX, --chrome-trace PREFIX, "

@@ -1,56 +1,15 @@
 /**
  * @file
- * Extension (paper Section 6): adaptive sequential prefetching.
- *
- * The paper notes that sequential prefetching and D-detection need a
- * smarter prefetching phase because they are unselective, and points
- * to the adaptive sequential scheme (degree adjusted by measured
- * usefulness, down to zero) as the fix, deferring it to future work.
- * This harness runs that future work: fixed sequential vs adaptive
- * sequential vs I-detection on all six applications.
- *
- * Expected shape: adaptive keeps fixed-sequential's miss coverage on
- * the locality-rich applications while cutting its useless traffic on
- * Ocean and PTHOR toward stride-prefetching levels.
+ * Thin shim: this legacy binary now runs specs/extension_adaptive.json through the
+ * shared spec driver (bench/spec_main.hh). The printed table and its
+ * flags are unchanged; the machine-readable output is the canonical
+ * psim-results-v1 document (default BENCH_extension_adaptive.json).
  */
 
-#include "common.hh"
-
-using namespace psim;
-using namespace psim::bench;
+#include "spec_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseBenchArgs(argc, argv);
-    const WallTimer wall;
-    const std::vector<PrefetchScheme> schemes = {
-        PrefetchScheme::Sequential, PrefetchScheme::Adaptive,
-        PrefetchScheme::IDet};
-
-    std::printf("Extension: adaptive sequential prefetching "
-                "(16 procs, infinite SLC)\n\n");
-    hr(92);
-    std::printf("%-10s %-9s %12s %12s %10s %12s\n", "app", "scheme",
-                "rel misses", "rel stall", "pf eff", "rel flits");
-    hr(92);
-
-    for (const auto &name : opt.workloads()) {
-        apps::Run base = runChecked(name, paperConfig(),
-                opt.runOptions(name + "-base"));
-        for (PrefetchScheme scheme : schemes) {
-            apps::Run run = runChecked(name, paperConfig(scheme),
-                    opt.runOptions(name + "-" + toString(scheme)));
-            std::printf("%-10s %-9s %12.2f %12.2f %s %12.2f\n",
-                        name.c_str(), toString(scheme),
-                        run.metrics.readMisses / base.metrics.readMisses,
-                        run.metrics.readStall / base.metrics.readStall,
-                        fmtEff(run.metrics.prefetchEfficiency(),
-                               10).c_str(),
-                        run.metrics.flits / base.metrics.flits);
-        }
-        hr(92);
-    }
-    wall.report();
-    return 0;
+    return psim::bench::runSpecMain("extension_adaptive", argc, argv);
 }

@@ -1,64 +1,15 @@
 /**
  * @file
- * Extension (paper Section 6): the paper's tagged-continuation
- * I-detection vs the original Baer/Chen lookahead-PC mechanism.
- *
- * The paper argues: "if the stride sequences are long, and the number
- * of misses to detect a stride becomes insignificant, the
- * effectiveness of the I-detection scheme evaluated in this paper and
- * the scheme by Baer and Chen will be nearly identical." This harness
- * measures that claim, sweeping the lookahead distance as supporting
- * data.
+ * Thin shim: this legacy binary now runs specs/extension_lookahead.json through the
+ * shared spec driver (bench/spec_main.hh). The printed table and its
+ * flags are unchanged; the machine-readable output is the canonical
+ * psim-results-v1 document (default BENCH_extension_lookahead.json).
  */
 
-#include "common.hh"
-
-using namespace psim;
-using namespace psim::bench;
+#include "spec_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseBenchArgs(argc, argv);
-    const WallTimer wall;
-    std::printf("Extension: tagged-continuation I-det vs lookahead-PC "
-                "I-det (16 procs, infinite SLC)\n\n");
-    hr(92);
-    std::printf("%-10s %-10s %4s %12s %12s %10s %12s\n", "app",
-                "scheme", "LA", "rel misses", "rel stall", "pf eff",
-                "rel flits");
-    hr(92);
-
-    for (const auto &name : opt.workloads()) {
-        apps::Run base = runChecked(name, paperConfig(),
-                opt.runOptions(name + "-base"));
-
-        apps::Run idet = runChecked(name, paperConfig(PrefetchScheme::IDet),
-                opt.runOptions(name + "-idet"));
-        std::printf("%-10s %-10s %4s %12.2f %12.2f %s %12.2f\n",
-                    name.c_str(), "i-det", "-",
-                    idet.metrics.readMisses / base.metrics.readMisses,
-                    idet.metrics.readStall / base.metrics.readStall,
-                    fmtEff(idet.metrics.prefetchEfficiency(), 10).c_str(),
-                    idet.metrics.flits / base.metrics.flits);
-
-        for (unsigned la : {1u, 2u, 4u}) {
-            MachineConfig cfg = paperConfig(PrefetchScheme::IDetLookahead);
-            cfg.prefetch.lookaheadStrides = la;
-            apps::Run run = runChecked(name, cfg,
-                    opt.runOptions(name + "-la" + std::to_string(la)));
-            std::printf("%-10s %-10s %4u %12.2f %12.2f %s %12.2f\n",
-                        name.c_str(), "i-det-la", la,
-                        run.metrics.readMisses / base.metrics.readMisses,
-                        run.metrics.readStall / base.metrics.readStall,
-                        fmtEff(run.metrics.prefetchEfficiency(),
-                               10).c_str(),
-                        run.metrics.flits / base.metrics.flits);
-        }
-        hr(92);
-    }
-    std::printf("\npaper's claim: for long stride sequences the two "
-                "mechanisms are nearly identical.\n");
-    wall.report();
-    return 0;
+    return psim::bench::runSpecMain("extension_lookahead", argc, argv);
 }

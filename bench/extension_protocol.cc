@@ -1,96 +1,15 @@
 /**
  * @file
- * Extension: the architectural assumptions around the prefetching
- * study, quantified.
- *
- * Part 1 -- memory consistency. The paper assumes release consistency
- * (Section 4, citing Gharachorloo et al.), noting that write latency
- * "can easily be hidden by appropriate write buffers and relaxed
- * memory consistency models". Running the same applications under
- * sequential consistency shows what that assumption is worth, and
- * that prefetching helps the read side either way.
- *
- * Part 2 -- migratory-sharing optimization. The authors' ISCA'94
- * companion paper combines prefetching with simple protocol
- * extensions; the migratory optimization (readers of a migrating
- * block receive an exclusive copy) eliminates the upgrade traffic of
- * lock-protected data. Radix (whose permutation phases migrate key
- * blocks between writers) and PTHOR (locked queue counters) show the
- * effect; MP3D's read-shared cells are the negative control.
+ * Thin shim: this legacy binary now runs specs/extension_protocol.json through the
+ * shared spec driver (bench/spec_main.hh). The printed table and its
+ * flags are unchanged; the machine-readable output is the canonical
+ * psim-results-v1 document (default BENCH_extension_protocol.json).
  */
 
-#include "common.hh"
-
-using namespace psim;
-using namespace psim::bench;
+#include "spec_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseBenchArgs(argc, argv);
-    const WallTimer wall;
-    std::printf("Part 1: release vs sequential consistency "
-                "(16 procs, infinite SLC)\n\n");
-    hr(92);
-    std::printf("%-8s %-6s %-9s %12s %12s %12s\n", "app", "model",
-                "scheme", "exec ticks", "write stall", "read stall");
-    hr(92);
-    for (const char *app : {"lu", "ocean"}) {
-        for (bool sc : {false, true}) {
-            for (const char *scheme : {"none", "seq"}) {
-                MachineConfig cfg = paperConfig(parseScheme(scheme));
-                cfg.sequentialConsistency = sc;
-                apps::Run run = runChecked(app, cfg,
-                        opt.runOptions(std::string(app) + "-" +
-                                       (sc ? "sc" : "rc") + "-" + scheme));
-                double wstall = 0;
-                for (NodeId n = 0; n < cfg.numProcs; ++n) {
-                    wstall += run.machine->node(n)
-                                      .cpu().writeStall.value();
-                }
-                std::printf("%-8s %-6s %-9s %12llu %12.0f %12.0f\n",
-                            app, sc ? "SC" : "RC", scheme,
-                            static_cast<unsigned long long>(
-                                    run.metrics.execTicks),
-                            wstall, run.metrics.readStall);
-            }
-        }
-        hr(92);
-    }
-
-    std::printf("\nPart 2: migratory-sharing optimization "
-                "(16 procs, infinite SLC)\n\n");
-    hr(92);
-    std::printf("%-8s %-10s %-9s %12s %12s %12s %12s\n", "app", "dir",
-                "scheme", "exec ticks", "upgrades", "mig grants",
-                "net flits");
-    hr(92);
-    for (const char *app : {"radix", "pthor", "mp3d"}) {
-        for (bool mig : {false, true}) {
-            for (const char *scheme : {"none", "seq"}) {
-                MachineConfig cfg = paperConfig(parseScheme(scheme));
-                cfg.migratoryOpt = mig;
-                apps::Run run = runChecked(app, cfg,
-                        opt.runOptions(std::string(app) + "-" +
-                                       (mig ? "mig" : "plain") + "-" +
-                                       scheme));
-                double upgrades = 0, grants = 0;
-                for (NodeId n = 0; n < cfg.numProcs; ++n) {
-                    upgrades += run.machine->node(n)
-                                        .slc().upgrades.value();
-                    grants += run.machine->node(n)
-                                      .mem().migratoryGrants.value();
-                }
-                std::printf("%-8s %-10s %-9s %12llu %12.0f %12.0f "
-                            "%12.0f\n",
-                            app, mig ? "migratory" : "plain", scheme,
-                            static_cast<unsigned long long>(
-                                    run.metrics.execTicks),
-                            upgrades, grants, run.metrics.flits);
-            }
-        }
-        hr(92);
-    }
-    wall.report();
-    return 0;
+    return psim::bench::runSpecMain("extension_protocol", argc, argv);
 }

@@ -1,185 +1,15 @@
 /**
  * @file
- * Reproduces Figure 6, the paper's headline result: for each of the
- * six applications and each prefetching scheme (I-det, D-det, Seq,
- * all with degree d = 1),
- *
- *   (top)    the number of read misses relative to the baseline,
- *   (middle) the prefetch efficiency (useful / issued prefetches),
- *   (bottom) the read stall time relative to the baseline,
- *
- * plus network traffic as supporting data for the paper's bandwidth
- * argument. Expected shape: sequential prefetching removes the most
- * misses everywhere except Ocean (large strides) and PTHOR (no
- * locality); I-detection has the best prefetch efficiency; stride
- * prefetching generates less useless traffic.
- *
- * The 6 x 4 grid cells are independent simulations and run on
- * `--jobs` threads (default: PSIM_JOBS, else hardware concurrency);
- * the tables are printed from collected results in grid order, so the
- * output is byte-identical to a serial run. `--json` (default
- * BENCH_fig6.json) emits the machine-readable results.
+ * Thin shim: this legacy binary now runs specs/fig6.json through the
+ * shared spec driver (bench/spec_main.hh). The printed table and its
+ * flags are unchanged; the machine-readable output is the canonical
+ * psim-results-v1 document (default BENCH_fig6.json).
  */
 
-#include <limits>
-#include <map>
-
-#include "common.hh"
-
-using namespace psim;
-using namespace psim::bench;
-
-namespace
-{
-
-struct Cell
-{
-    double misses = 0;
-    double stall = 0;
-    double eff = std::numeric_limits<double>::quiet_NaN();
-    double flits = 0;
-    Tick exec = 0;
-};
-
-} // namespace
+#include "spec_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseBenchArgs(argc, argv);
-    if (opt.jsonPath.empty())
-        opt.jsonPath = "BENCH_fig6.json";
-    const unsigned jobs = resolveJobs(opt.jobs);
-
-    const std::vector<PrefetchScheme> schemes = {
-        PrefetchScheme::None, PrefetchScheme::IDet, PrefetchScheme::DDet,
-        PrefetchScheme::Sequential};
-    const std::vector<std::string> &workloads = opt.workloads();
-
-    const WallTimer wall;
-
-    std::vector<Cell> cells(workloads.size() * schemes.size());
-    runGrid(cells.size(), jobs, [&](std::size_t i) {
-        const std::string &name = workloads[i / schemes.size()];
-        PrefetchScheme scheme = schemes[i % schemes.size()];
-        MachineConfig cfg = paperConfig(scheme);
-        opt.applyMachine(cfg);
-        apps::Run run = runChecked(name, cfg,
-                opt.runOptions(name + "-" + toString(scheme)));
-        Cell c;
-        c.misses = run.metrics.readMisses;
-        c.stall = run.metrics.readStall;
-        c.eff = run.metrics.prefetchEfficiency();
-        c.flits = run.metrics.flits;
-        c.exec = run.metrics.execTicks;
-        cells[i] = c;
-        progress(name.c_str(), toString(scheme));
-    });
-
-    const double wall_seconds = wall.seconds();
-
-    std::map<std::string, std::map<PrefetchScheme, Cell>> grid;
-    for (std::size_t i = 0; i < cells.size(); ++i)
-        grid[workloads[i / schemes.size()]][schemes[i % schemes.size()]] =
-                cells[i];
-
-    auto panel = [&](const char *title,
-                     auto value) {
-        std::printf("\n%s\n", title);
-        hr();
-        std::printf("%-10s", "app");
-        for (PrefetchScheme s : schemes)
-            std::printf(" %10s", toString(s));
-        std::printf("\n");
-        hr();
-        for (const auto &name : workloads) {
-            std::printf("%-10s", name.c_str());
-            for (PrefetchScheme s : schemes)
-                std::printf(" %10s",
-                            value(grid[name][s], grid[name][schemes[0]])
-                                    .c_str());
-            std::printf("\n");
-        }
-        hr();
-    };
-
-    std::printf("Figure 6: stride vs. sequential prefetching "
-                "(16 procs, infinite SLC, d = 1)\n");
-
-    panel("(top) read misses relative to the baseline architecture",
-          [](const Cell &c, const Cell &base) {
-              char buf[32];
-              std::snprintf(buf, sizeof(buf), "%.2f",
-                            base.misses > 0 ? c.misses / base.misses
-                                            : 1.0);
-              return std::string(buf);
-          });
-
-    panel("(middle) prefetch efficiency (useful / issued prefetches)",
-          [](const Cell &c, const Cell &) { return fmtEff(c.eff); });
-
-    panel("(bottom) read stall time relative to the baseline",
-          [](const Cell &c, const Cell &base) {
-              char buf[32];
-              std::snprintf(buf, sizeof(buf), "%.2f",
-                            base.stall > 0 ? c.stall / base.stall : 1.0);
-              return std::string(buf);
-          });
-
-    panel("(support) network traffic (flits) relative to the baseline",
-          [](const Cell &c, const Cell &base) {
-              char buf[32];
-              std::snprintf(buf, sizeof(buf), "%.2f",
-                            base.flits > 0 ? c.flits / base.flits : 1.0);
-              return std::string(buf);
-          });
-
-    panel("(support) execution time relative to the baseline",
-          [](const Cell &c, const Cell &base) {
-              char buf[32];
-              std::snprintf(buf, sizeof(buf), "%.2f",
-                            base.exec > 0 ? static_cast<double>(c.exec) /
-                                            static_cast<double>(base.exec)
-                                          : 1.0);
-              return std::string(buf);
-          });
-
-    JsonWriter json;
-    json.beginObject();
-    json.field("bench", std::string("fig6_schemes"));
-    json.field("jobs", static_cast<double>(jobs));
-    json.field("shards", static_cast<double>(opt.shards));
-    json.field("wall_seconds", wall_seconds);
-    json.beginObject("apps");
-    for (const auto &name : workloads) {
-        const Cell &base = grid[name][schemes[0]];
-        json.beginObject(name);
-        for (PrefetchScheme s : schemes) {
-            const Cell &c = grid[name][s];
-            json.beginObject(toString(s));
-            json.field("rel_read_misses",
-                       base.misses > 0 ? c.misses / base.misses : 1.0);
-            json.field("efficiency", c.eff);
-            json.field("rel_read_stall",
-                       base.stall > 0 ? c.stall / base.stall : 1.0);
-            json.field("rel_flits",
-                       base.flits > 0 ? c.flits / base.flits : 1.0);
-            json.field("rel_exec",
-                       base.exec > 0 ? static_cast<double>(c.exec) /
-                                       static_cast<double>(base.exec)
-                                     : 1.0);
-            json.endObject();
-        }
-        json.endObject();
-    }
-    json.endObject();
-    json.endObject();
-    json.write(opt.jsonPath);
-
-    std::printf("\nAll %zu runs verified numerically against native "
-                "references.\n", cells.size());
-    std::fprintf(stderr, "grid wall-clock: %.2fs with %u jobs "
-                 "(results: %s)\n", wall_seconds, jobs,
-                 opt.jsonPath.c_str());
-    return 0;
+    return psim::bench::runSpecMain("fig6", argc, argv);
 }

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Generic spec runner: `run_spec --spec NAME|PATH [flags]` executes
+ * any psim-spec-v1 experiment spec, prints its report, and writes the
+ * canonical psim-results-v1 document. The per-table binaries
+ * (fig6_schemes, table2_characteristics, ...) are thin shims over the
+ * same entry point with their spec name baked in.
+ */
+
+#include "spec_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    return psim::bench::runSpecMain(nullptr, argc, argv);
+}

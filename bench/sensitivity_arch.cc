@@ -1,126 +1,15 @@
 /**
  * @file
- * Sensitivity of the paper's conclusion to architectural parameters.
- *
- * The paper fixes one design point (Table 1). This harness perturbs
- * the parameters that most plausibly interact with prefetching --
- * SLWB (pending-transaction) entries, FLC size, network fall-through
- * latency, and DRAM latency -- and re-measures the headline comparison
- * (sequential vs I-detection) on one sequential-friendly application
- * (LU) and the one stride-friendly application (Ocean). The conclusion
- * is robust if the per-application winner never flips.
- *
- * Every (configuration, app) point is an independent cell and runs on
- * `--jobs` threads; lines are printed in sweep order afterwards.
+ * Thin shim: this legacy binary now runs specs/sensitivity_arch.json through the
+ * shared spec driver (bench/spec_main.hh). The printed table and its
+ * flags are unchanged; the machine-readable output is the canonical
+ * psim-results-v1 document (default BENCH_sensitivity_arch.json).
  */
 
-#include "common.hh"
-
-using namespace psim;
-using namespace psim::bench;
-
-namespace
-{
-
-struct Point
-{
-    std::string label;
-    MachineConfig cfg;
-    std::string app;
-};
-
-std::string
-comparePoint(const BenchOptions &opt, const Point &p)
-{
-    // Cell names fold the sweep label in ("slwb=4-lu-seq", ...).
-    std::string stem = p.label + "-" + p.app + "-";
-
-    MachineConfig none_cfg = p.cfg;
-    none_cfg.prefetch.scheme = PrefetchScheme::None;
-    apps::Run base = runChecked(p.app, none_cfg,
-            opt.runOptions(stem + "base"));
-
-    MachineConfig seq_cfg = p.cfg;
-    seq_cfg.prefetch.scheme = PrefetchScheme::Sequential;
-    apps::Run seq = runChecked(p.app, seq_cfg,
-            opt.runOptions(stem + "seq"));
-
-    MachineConfig idet_cfg = p.cfg;
-    idet_cfg.prefetch.scheme = PrefetchScheme::IDet;
-    apps::Run idet = runChecked(p.app, idet_cfg,
-            opt.runOptions(stem + "idet"));
-
-    const char *winner =
-            seq.metrics.readMisses < idet.metrics.readMisses
-                    ? "seq" : "i-det";
-    char buf[160];
-    std::snprintf(buf, sizeof(buf),
-                  "%-26s %-6s %12.2f %12.2f   winner: %s\n",
-                  p.label.c_str(), p.app.c_str(),
-                  seq.metrics.readMisses / base.metrics.readMisses,
-                  idet.metrics.readMisses / base.metrics.readMisses,
-                  winner);
-    return buf;
-}
-
-} // namespace
+#include "spec_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseBenchArgs(argc, argv);
-    const WallTimer wall;
-
-    std::vector<Point> points;
-    auto addPoint = [&](const std::string &label,
-                        const MachineConfig &cfg) {
-        for (const char *app : {"lu", "ocean"})
-            points.push_back(Point{label, cfg, app});
-    };
-
-    addPoint("paper default", paperConfig());
-
-    for (unsigned slwb : {4u, 32u}) {
-        MachineConfig cfg = paperConfig();
-        cfg.slwbEntries = slwb;
-        addPoint("slwb=" + std::to_string(slwb), cfg);
-    }
-
-    for (unsigned flc : {2048u, 16384u}) {
-        MachineConfig cfg = paperConfig();
-        cfg.flcSize = flc;
-        addPoint("flc=" + std::to_string(flc / 1024) + "KB", cfg);
-    }
-
-    for (Tick ft : {1u, 6u}) {
-        MachineConfig cfg = paperConfig();
-        cfg.fallThrough = ft;
-        addPoint("fallThrough=" + std::to_string(ft), cfg);
-    }
-
-    for (Tick mem : {5u, 18u}) {
-        MachineConfig cfg = paperConfig();
-        cfg.memAccessLat = mem;
-        addPoint("memLat=" + std::to_string(mem * 10) + "ns", cfg);
-    }
-
-    std::vector<std::string> lines(points.size());
-    runGrid(points.size(), resolveJobs(opt.jobs), [&](std::size_t i) {
-        lines[i] = comparePoint(opt, points[i]);
-        progress(points[i].app.c_str(), points[i].label.c_str());
-    });
-
-    std::printf("Sensitivity: does the seq-vs-stride winner survive "
-                "parameter changes?\n");
-    std::printf("(expected: seq wins LU, i-det wins Ocean, at every "
-                "point)\n\n");
-    hr(86);
-    std::printf("%-26s %-6s %12s %12s\n", "configuration", "app",
-                "seq misses", "idet misses");
-    hr(86);
-    for (const auto &line : lines)
-        std::fputs(line.c_str(), stdout);
-    hr(86);
-    wall.report();
-    return 0;
+    return psim::bench::runSpecMain("sensitivity_arch", argc, argv);
 }

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Entry point shared by bench/run_spec and the legacy shim binaries.
+ *
+ * runSpecMain() parses the common bench flags, loads a psim-spec-v1
+ * experiment spec (by name from the spec directory, or by path), runs
+ * it through spec::runSpec(), prints the report renderer's table on
+ * stdout, and writes the canonical psim-results-v1 document (default
+ * BENCH_<name>.json, override with --json/--out).
+ *
+ * The spec directory is $PSIM_SPEC_DIR when set, else the repository's
+ * specs/ directory baked in at configure time (PSIM_SPEC_DIR compile
+ * definition).
+ */
+
+#ifndef PSIM_BENCH_SPEC_MAIN_HH
+#define PSIM_BENCH_SPEC_MAIN_HH
+
+namespace psim::bench
+{
+
+/**
+ * Run the spec named by --spec (falling back to @p default_spec, which
+ * may be nullptr for the generic run_spec binary). Returns the process
+ * exit code.
+ */
+int runSpecMain(const char *default_spec, int argc, char **argv);
+
+} // namespace psim::bench
+
+#endif // PSIM_BENCH_SPEC_MAIN_HH

@@ -1,73 +1,15 @@
 /**
  * @file
- * Reproduces Table 2: application characteristics with an infinitely
- * large second-level cache.
- *
- * Methodology (paper Section 5.1): run the baseline architecture (no
- * prefetching), collect one processor's demand read misses, classify
- * them with I-detection (>= 3 equidistant accesses from the same load
- * instruction form a stride sequence), and report
- *   - the fraction of read misses inside stride sequences,
- *   - the average length of a stride sequence, and
- *   - the dominant strides measured in blocks.
+ * Thin shim: this legacy binary now runs specs/table2.json through the
+ * shared spec driver (bench/spec_main.hh). The printed table and its
+ * flags are unchanged; the machine-readable output is the canonical
+ * psim-results-v1 document (default BENCH_table2.json).
  */
 
-#include "common.hh"
-
-using namespace psim;
-using namespace psim::bench;
+#include "spec_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseBenchArgs(argc, argv);
-    const WallTimer wall;
-    const std::vector<std::string> &workloads = opt.workloads();
-
-    // One independent cell per application; rows are formatted by the
-    // cells and printed in grid order below.
-    std::vector<std::string> rows(workloads.size());
-    runGrid(rows.size(), resolveJobs(opt.jobs), [&](std::size_t i) {
-        const std::string &name = workloads[i];
-        MachineConfig cfg = paperConfig();
-        apps::RunOptions opts;
-        opts.characterize = true;
-        apps::Run run = runChecked(name, cfg, opt.runOptions(name, opts));
-
-        // The paper considers the requests of one processor, "which
-        // has been shown to be representative"; node 0 here.
-        auto report = run.machine->characterizer(0)->finalize();
-        char buf[256];
-        std::snprintf(buf, sizeof(buf),
-                      "%-10s %13.1f%% %14.1f %12llu   %s\n", name.c_str(),
-                      100.0 * report.strideFraction,
-                      report.avgSequenceLength,
-                      static_cast<unsigned long long>(report.totalMisses),
-                      dominantStrides(report, 3).c_str());
-        rows[i] = buf;
-        progress(name.c_str(), "table2");
-    });
-
-    std::printf("Table 2: application characteristics, infinite SLC "
-                "(baseline, 16 procs, 32 B blocks)\n");
-    std::printf("paper reference:  MP3D 9.2%% / 5.2 / 1(76%%)  "
-                "Chol 80%% / 7.2 / 1(95%%)  Water 79%% / 8.0 / 21(99%%)\n");
-    std::printf("                  LU 93%% / 16.9 / 1(93%%)  "
-                "Ocean 66%% / 7.6 / 65(42%%),1(31%%)  "
-                "PTHOR 4.1%% / 3.4 / -\n\n");
-    hr();
-    std::printf("%-10s %14s %14s %12s   %s\n", "app",
-                "stride misses", "avg seq len", "read misses",
-                "dominant strides (blocks)");
-    hr();
-
-    for (const auto &row : rows)
-        std::fputs(row.c_str(), stdout);
-    hr();
-    std::printf("\nstride misses = %% of demand read misses inside "
-                "stride sequences (>=3 equidistant\naccesses from one "
-                "load instruction); strides shorter than a block count "
-                "as 1 block.\n");
-    wall.report();
-    return 0;
+    return psim::bench::runSpecMain("table2", argc, argv);
 }

@@ -1,71 +1,15 @@
 /**
  * @file
- * Reproduces Table 3: application characteristics with a finite,
- * 16 Kbyte direct-mapped second-level cache.
- *
- * Same methodology as Table 2 plus the share of replacement misses.
- * The paper's headline observation: with a finite SLC, MP3D and Ocean
- * gain large populations of stride-1 replacement misses, which is why
- * finite caches make both stride and sequential prefetching look
- * better on them.
+ * Thin shim: this legacy binary now runs specs/table3.json through the
+ * shared spec driver (bench/spec_main.hh). The printed table and its
+ * flags are unchanged; the machine-readable output is the canonical
+ * psim-results-v1 document (default BENCH_table3.json).
  */
 
-#include "common.hh"
-
-using namespace psim;
-using namespace psim::bench;
+#include "spec_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseBenchArgs(argc, argv);
-    const WallTimer wall;
-    const std::vector<std::string> &workloads = opt.workloads();
-
-    std::vector<std::string> rows(workloads.size());
-    runGrid(rows.size(), resolveJobs(opt.jobs), [&](std::size_t i) {
-        const std::string &name = workloads[i];
-        MachineConfig cfg = paperConfig();
-        cfg.slcSize = 16384;
-        cfg.slcAssoc = 1;
-        apps::RunOptions opts;
-        opts.characterize = true;
-        apps::Run run = runChecked(name, cfg, opt.runOptions(name, opts));
-
-        auto report = run.machine->characterizer(0)->finalize();
-        const Slc &slc = run.machine->node(0).slc();
-        double total = slc.demandReadMisses.value();
-        double repl = total > 0
-                ? 100.0 * slc.missesReplacement.value() / total
-                : 0.0;
-        char buf[256];
-        std::snprintf(buf, sizeof(buf),
-                      "%-10s %11.1f%% %13.1f%% %14.1f %12llu   %s\n",
-                      name.c_str(), repl, 100.0 * report.strideFraction,
-                      report.avgSequenceLength,
-                      static_cast<unsigned long long>(report.totalMisses),
-                      dominantStrides(report, 3).c_str());
-        rows[i] = buf;
-        progress(name.c_str(), "table3");
-    });
-
-    std::printf("Table 3: application characteristics, 16 KB "
-                "direct-mapped SLC (baseline, 16 procs)\n");
-    std::printf("paper reference:  repl%%: MP3D 32 Chol 45 Water 45 "
-                "LU 76 Ocean 82 PTHOR 39\n");
-    std::printf("                  stride misses rise for MP3D (34%%) "
-                "and Ocean (81%%), stride 1 dominates\n\n");
-    hr(86);
-    std::printf("%-10s %12s %14s %14s %12s   %s\n", "app",
-                "repl misses", "stride misses", "avg seq len",
-                "read misses", "dominant strides (blocks)");
-    hr(86);
-
-    for (const auto &row : rows)
-        std::fputs(row.c_str(), stdout);
-    hr(86);
-    std::printf("\nrepl misses = replacement misses as %% of node 0's "
-                "demand read misses.\n");
-    wall.report();
-    return 0;
+    return psim::bench::runSpecMain("table3", argc, argv);
 }

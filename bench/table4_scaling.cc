@@ -1,99 +1,15 @@
 /**
  * @file
- * Reproduces Table 4: how the key application characteristics move
- * with larger data sets (infinite SLC). The paper reports expected
- * tendencies for five applications (PTHOR was too slow to rerun);
- * this harness measures both data-set sizes and prints the observed
- * trend next to the paper's expectation.
+ * Thin shim: this legacy binary now runs specs/table4.json through the
+ * shared spec driver (bench/spec_main.hh). The printed table and its
+ * flags are unchanged; the machine-readable output is the canonical
+ * psim-results-v1 document (default BENCH_table4.json).
  */
 
-#include "common.hh"
-
-using namespace psim;
-using namespace psim::bench;
-
-namespace
-{
-
-struct Row
-{
-    double fraction;
-    double seq_len;
-    std::int64_t dominant;
-};
-
-Row
-measure(const BenchOptions &opt, const std::string &name, unsigned scale)
-{
-    MachineConfig cfg = paperConfig();
-    apps::RunOptions opts;
-    opts.characterize = true;
-    opts.scale = scale;
-    std::string cell = name + "-scale" + std::to_string(scale);
-    apps::Run run = runChecked(name, cfg, opt.runOptions(cell, opts));
-    auto report = run.machine->characterizer(0)->finalize();
-    std::int64_t dom =
-            report.topStrides.empty() ? 0 : report.topStrides[0].first;
-    return Row{report.strideFraction, report.avgSequenceLength, dom};
-}
-
-const char *
-trend(double small, double big, double tol = 0.05)
-{
-    if (big > small * (1.0 + tol))
-        return "higher";
-    if (big < small * (1.0 - tol))
-        return "lower";
-    return "about the same";
-}
-
-} // namespace
+#include "spec_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseBenchArgs(argc, argv);
-    const WallTimer wall;
-    const std::vector<std::string> &workloads = opt.workloads();
-
-    // Two cells (scale 1, scale 2) per application, all independent.
-    std::vector<Row> measured(workloads.size() * 2);
-    runGrid(measured.size(), resolveJobs(opt.jobs), [&](std::size_t i) {
-        const std::string &name = workloads[i / 2];
-        unsigned scale = 1 + static_cast<unsigned>(i % 2);
-        measured[i] = measure(opt, name, scale);
-        progress(name.c_str(), scale == 1 ? "scale1" : "scale2");
-    });
-
-    std::printf("Table 4: characteristics for larger data sets, "
-                "infinite SLC (scale 1 vs scale 2)\n");
-    std::printf("paper expectation: stride fraction higher for "
-                "Chol/Water/LU/Ocean, about the same for MP3D;\n"
-                "sequence length longer except MP3D (limited); "
-                "dominant stride unchanged except Ocean (longer)\n\n");
-    hr(96);
-    std::printf("%-10s | %21s | %21s | %12s\n", "app",
-                "stride misses  s1->s2", "avg seq len    s1->s2",
-                "dom stride");
-    hr(96);
-
-    // The paper omits PTHOR here for simulation-time reasons; it is
-    // cheap in this reproduction, so it is included as an extension.
-    for (std::size_t w = 0; w < workloads.size(); ++w) {
-        const std::string &name = workloads[w];
-        const Row &small = measured[w * 2];
-        const Row &big = measured[w * 2 + 1];
-        std::printf("%-10s | %5.1f%% -> %5.1f%% %6s | %5.1f -> %5.1f "
-                    "%8s | %3lld -> %3lld\n",
-                    name.c_str(), 100 * small.fraction,
-                    100 * big.fraction,
-                    trend(small.fraction, big.fraction),
-                    small.seq_len, big.seq_len,
-                    trend(small.seq_len, big.seq_len),
-                    static_cast<long long>(small.dominant),
-                    static_cast<long long>(big.dominant));
-    }
-    hr(96);
-    wall.report();
-    return 0;
+    return psim::bench::runSpecMain("table4", argc, argv);
 }

@@ -1,12 +1,21 @@
 #!/usr/bin/env python3
-"""Validate psim --stats-json documents against scripts/stats_schema.json.
+"""Validate psim JSON documents against a schema file.
 
 Standard library only: implements exactly the subset of JSON Schema the
-schema file uses (type, const, enum, required, properties, items,
-minimum). CI runs this over the stats documents a smoke run produces so
-schema drift is caught at the source, not in downstream tooling.
+schema files use (type, const, enum, required, properties, items,
+minimum, additionalProperties). CI runs this over the stats documents a
+smoke run produces -- and, via --schema, over experiment specs
+(spec_schema.json) and canonical results documents
+(results_schema.json) -- so schema drift is caught at the source, not
+in downstream tooling.
 
-Usage: check_stats_schema.py FILE [FILE...]
+Empty documents (an empty file, [], or {}) are rejected: they satisfy
+any of these schemas vacuously, and every producer of these documents
+always emits at least one member, so an empty input is a pipeline bug,
+not a valid degenerate case.
+
+Usage: check_stats_schema.py [--schema SCHEMA.json] FILE [FILE...]
+       (default schema: scripts/stats_schema.json)
 """
 
 import json
@@ -51,6 +60,11 @@ def validate(value, schema, path, errors):
         for key, sub in schema.get("properties", {}).items():
             if key in value:
                 validate(value[key], sub, f"{path}.{key}", errors)
+        if schema.get("additionalProperties") is False:
+            allowed = set(schema.get("properties", {}))
+            for key in value:
+                if key not in allowed:
+                    errors.append(f"{path}: unknown member '{key}'")
     if isinstance(value, list) and "items" in schema:
         for i, item in enumerate(value):
             validate(item, schema["items"], f"{path}[{i}]", errors)
@@ -58,9 +72,20 @@ def validate(value, schema, path, errors):
 
 def check_file(path, schema):
     try:
-        doc = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as e:
+        text = Path(path).read_text()
+    except OSError as e:
         return [f"{path}: {e}"]
+    if not text.strip():
+        return [f"{path}: empty file (nothing to validate)"]
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        return [f"{path}: {e}"]
+    if doc == [] or doc == {}:
+        return [
+            f"{path}: empty document (an empty array/object satisfies "
+            f"any schema vacuously and is always a producer bug)"
+        ]
     errors = []
     validate(doc, schema, path, errors)
     # Cross-field checks the schema language cannot express: every
@@ -78,12 +103,20 @@ def check_file(path, schema):
 
 
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    schema_path = SCHEMA_PATH
+    if args and args[0] == "--schema":
+        if len(args) < 2:
+            print("--schema needs a path", file=sys.stderr)
+            return 2
+        schema_path = Path(args[1])
+        args = args[2:]
+    if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    schema = json.loads(SCHEMA_PATH.read_text())
+    schema = json.loads(schema_path.read_text())
     failed = False
-    for path in argv[1:]:
+    for path in args:
         errors = check_file(path, schema)
         if errors:
             failed = True

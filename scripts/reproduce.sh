@@ -1,20 +1,29 @@
 #!/bin/sh
-# Build everything, run the full test suite, and regenerate every
-# table/figure of the paper plus the extension studies.
+# Build everything, run the full test suite, regenerate every
+# table/figure of the paper plus the extension studies from their
+# declarative specs, and diff each against its pinned golden snapshot.
 #
-# Table/figure harnesses run their (app, scheme) grids in parallel;
-# output is byte-identical to a serial run. The job count defaults to
-# all hardware threads; override it with PSIM_JOBS=n or per-bench
-# with --jobs n.
+# Grids run their cells in parallel; output is byte-identical to a
+# serial run. The job count defaults to all hardware threads; override
+# it with PSIM_JOBS=n or per-spec with --jobs n.
 set -e
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
-for b in table2_characteristics table3_finite_slc table4_scaling \
-         fig6_schemes ablation_degree ablation_blocksize \
-         sensitivity_arch extension_adaptive extension_lookahead extension_protocol \
-         micro_prefetchers; do
-    echo "==== bench/$b ===="
-    ./build/bench/$b
+
+python3 scripts/check_stats_schema.py \
+    --schema scripts/spec_schema.json specs/*.json
+
+mkdir -p out
+for s in specs/*.json; do
+    n=$(basename "$s" .json)
+    echo "==== $n ===="
+    ./build/bench/run_spec --spec "$s" --out "out/BENCH_$n.json"
+    python3 scripts/diff_results.py "BENCH_$n.json" "out/BENCH_$n.json"
 done
+python3 scripts/check_stats_schema.py \
+    --schema scripts/results_schema.json out/BENCH_*.json
+
+echo "==== bench/micro_prefetchers ===="
+./build/bench/micro_prefetchers

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "sim/logging.hh"
+#include "sim/parse.hh"
 #include "sim/sampler.hh"
 #include "trace/chrome_trace.hh"
 
@@ -93,9 +94,8 @@ ObservabilityOptions::parseArg(int argc, char **argv, int *i)
         return true;
     }
     if (arg == "--sample-interval") {
-        std::string v = value("--sample-interval");
-        sampleInterval = static_cast<Tick>(
-                std::strtoull(v.c_str(), nullptr, 10));
+        sampleInterval = parseTickFlag("--sample-interval",
+                                       value("--sample-interval"));
         if (sampleInterval == 0)
             psim_fatal("--sample-interval must be a positive tick count");
         return true;
@@ -105,13 +105,12 @@ ObservabilityOptions::parseArg(int argc, char **argv, int *i)
         std::size_t colon = v.find(':');
         if (colon == std::string::npos)
             psim_fatal("--chrome-window wants START:END ticks");
-        chromeStart = static_cast<Tick>(
-                std::strtoull(v.substr(0, colon).c_str(), nullptr, 10));
+        chromeStart = parseTickFlag("--chrome-window START",
+                                    v.substr(0, colon));
         std::string end = v.substr(colon + 1);
         chromeEnd = end.empty()
                 ? kTickNever
-                : static_cast<Tick>(
-                          std::strtoull(end.c_str(), nullptr, 10));
+                : parseTickFlag("--chrome-window END", end);
         if (chromeEnd < chromeStart)
             psim_fatal("--chrome-window END precedes START");
         return true;

@@ -81,4 +81,33 @@ MachineConfig::validate() const
         psim_fatal("flit size must be whole bytes");
 }
 
+unsigned
+squarestMeshCols(unsigned procs)
+{
+    unsigned d = 1;
+    for (unsigned c = 1; c * c <= procs; ++c) {
+        if (procs % c == 0)
+            d = c; // largest divisor <= sqrt(procs)
+    }
+    return procs / d;
+}
+
+void
+applyProcCount(MachineConfig &cfg, unsigned procs)
+{
+    cfg.numProcs = procs;
+    cfg.meshCols = squarestMeshCols(procs);
+    unsigned rows = procs / cfg.meshCols;
+    // A near-chain mesh (1x7 for a prime count, 2x13 for 26, ...) has
+    // pathologically long routes compared to the square-ish meshes the
+    // paper studies. Honor the request, but never silently.
+    if (procs > 2 && cfg.meshCols >= 4 * rows) {
+        psim_warn("--procs %u only tiles as a degenerate %ux%u mesh "
+                  "(rows x cols); network distances will not resemble a "
+                  "square mesh. Prefer a count with a near-square "
+                  "factorization (e.g. %u or %u).",
+                  procs, rows, cfg.meshCols, procs - 1, procs + 1);
+    }
+}
+
 } // namespace psim

@@ -256,6 +256,23 @@ struct MachineConfig
     void validate() const;
 };
 
+/**
+ * The mesh-column count a `--procs N` override gets: N divided by its
+ * largest divisor no greater than sqrt(N) -- the squarest mesh the
+ * count allows (so 16 -> 4x4, 12 -> 3x4, 8 -> 2x4).
+ */
+unsigned squarestMeshCols(unsigned procs);
+
+/**
+ * Apply a processor-count override to @p cfg: sets numProcs and the
+ * squarest mesh shape per squarestMeshCols(). Prime and other awkward
+ * counts only tile as a degenerate near-chain (7 -> 1x7); that mesh
+ * has very different distance and congestion behaviour from a 2-D
+ * grid, so a loud warning names the chosen shape instead of silently
+ * skewing the results (see EXPERIMENTS.md, "Choosing --procs").
+ */
+void applyProcCount(MachineConfig &cfg, unsigned procs);
+
 } // namespace psim
 
 #endif // PSIM_SIM_CONFIG_HH
