@@ -150,8 +150,14 @@ renderTable4(const Spec &s, const Results &r)
 
 // ---- Figure 6: the headline scheme comparison ----
 
+/**
+ * The five-panel app x scheme comparison grid shared by fig6 and the
+ * server-suite variant: same panels, same relative-to-baseline math,
+ * only the headline differs. Axis 0 must be app x scheme with the
+ * baseline scheme first.
+ */
 void
-renderFig6(const Spec &s, const Results &r)
+renderSchemeGrid(const Spec &s, const Results &r, const char *title)
 {
     const std::vector<AxisValue> &apps = s.axis(0, "app").values;
     const std::vector<AxisValue> &schemes = s.axis(0, "scheme").values;
@@ -181,8 +187,7 @@ renderFig6(const Spec &s, const Results &r)
         return std::string(buf);
     };
 
-    std::printf("Figure 6: stride vs. sequential prefetching "
-                "(16 procs, infinite SLC, d = 1)\n");
+    std::printf("%s\n", title);
 
     panel("(top) read misses relative to the baseline architecture",
           [&](const CellResult &c, const CellResult &base) {
@@ -212,6 +217,63 @@ renderFig6(const Spec &s, const Results &r)
 
     std::printf("\nAll %zu runs verified numerically against native "
                 "references.\n", r.cells.size());
+}
+
+void
+renderFig6(const Spec &s, const Results &r)
+{
+    renderSchemeGrid(s, r,
+                     "Figure 6: stride vs. sequential prefetching "
+                     "(16 procs, infinite SLC, d = 1)");
+}
+
+// ---- Server suite: request-stream characteristics ----
+
+void
+renderServerTable2(const Spec &s, const Results &r)
+{
+    const std::vector<AxisValue> &apps = s.axis(0, "app").values;
+    const std::vector<AxisValue> &thetas =
+            s.axis(0, "server.zipfTheta").values;
+
+    std::printf("Server suite: request-stream characteristics, "
+                "infinite SLC (baseline, 16 procs, 32 B blocks)\n");
+    std::printf("Zipf key skew theta per row; every request stream is "
+                "a pure function of (seed, thread, index)\n\n");
+    hr(92);
+    std::printf("%-10s %8s %14s %14s %12s   %s\n", "app", "theta",
+                "stride misses", "avg seq len", "read misses",
+                "dominant strides (blocks)");
+    hr(92);
+
+    for (std::size_t w = 0; w < apps.size(); ++w) {
+        for (std::size_t t = 0; t < thetas.size(); ++t) {
+            const CellResult &c = cellAt(s, r, 0, {w, t});
+            const auto &report = c.characterizer;
+            std::printf("%-10s %8s %13.1f%% %14.1f %12llu   %s\n",
+                        apps[w].id.c_str(), thetas[t].id.c_str(),
+                        100.0 * report.strideFraction,
+                        report.avgSequenceLength,
+                        static_cast<unsigned long long>(
+                                report.totalMisses),
+                        dominantStrides(report, 3).c_str());
+        }
+        hr(92);
+    }
+    std::printf("\nstride misses = %% of demand read misses inside "
+                "stride sequences (>=3 equidistant\naccesses from one "
+                "load instruction); strides shorter than a block count "
+                "as 1 block.\n");
+}
+
+// ---- Server suite: the fig6 grid over the server workloads ----
+
+void
+renderServerFig6(const Spec &s, const Results &r)
+{
+    renderSchemeGrid(s, r,
+                     "Server suite: stride vs. sequential prefetching "
+                     "(16 procs, infinite SLC, d = 1)");
 }
 
 // ---- Ablation: block size ----
@@ -468,6 +530,8 @@ constexpr Entry kRenderers[] = {
     {"table3", renderTable3},
     {"table4", renderTable4},
     {"fig6", renderFig6},
+    {"server_table2", renderServerTable2},
+    {"server_fig6", renderServerFig6},
     {"ablation_blocksize", renderBlocksize},
     {"ablation_degree", renderDegree},
     {"extension_adaptive", renderAdaptive},

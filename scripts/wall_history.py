@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Append wall-clock rows from psim-results-v1 documents to a CSV.
+
+Standard library only. Reads the run.wall_seconds of each results
+document and appends one `spec,wall_seconds,date` row per document to
+the history file (creating it, with a header, if needed). CI runs this
+after regenerating every golden and uploads the CSV as an artifact, so
+the wall-clock trend of the whole spec suite accumulates run over run
+-- the diff gate's --wall-tol catches a 4x cliff, this catches the
+slow creep that never trips it.
+
+A document without a positive run.wall_seconds gets a warning on
+stderr and no row (a zero would poison any trend math downstream).
+
+Usage: wall_history.py --history CSV [--date YYYY-MM-DD] RESULTS.json...
+
+Exit status: 0 on success (even if some documents were skipped),
+2 on usage error or an unreadable/invalid document.
+"""
+
+import datetime
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv):
+    args = argv[1:]
+    history = None
+    date = None
+    paths = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--history":
+            if i + 1 >= len(args):
+                print("--history needs a value", file=sys.stderr)
+                return 2
+            history = Path(args[i + 1])
+            i += 2
+        elif args[i] == "--date":
+            if i + 1 >= len(args):
+                print("--date needs a value", file=sys.stderr)
+                return 2
+            date = args[i + 1]
+            i += 2
+        else:
+            paths.append(args[i])
+            i += 1
+    if history is None or not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if date is None:
+        date = datetime.date.today().isoformat()
+
+    rows = []
+    for path in paths:
+        try:
+            doc = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {path}: {e}", file=sys.stderr)
+            return 2
+        if not isinstance(doc, dict) or doc.get("schema") != "psim-results-v1":
+            print(f"error: {path}: not a psim-results-v1 document",
+                  file=sys.stderr)
+            return 2
+        name = doc.get("name", Path(path).stem)
+        wall = doc.get("run", {}).get("wall_seconds", 0)
+        if not isinstance(wall, (int, float)) or wall <= 0:
+            print(f"warning: {path}: no positive run.wall_seconds; "
+                  f"skipping its history row", file=sys.stderr)
+            continue
+        rows.append(f"{name},{wall:.3f},{date}\n")
+
+    if not history.exists():
+        history.parent.mkdir(parents=True, exist_ok=True)
+        history.write_text("spec,wall_seconds,date\n")
+    with history.open("a") as f:
+        f.writelines(rows)
+    print(f"appended {len(rows)} row(s) to {history}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,8 +1,12 @@
 #include "apps/workload.hh"
 
 #include "apps/barnes.hh"
+#include "apps/bfs.hh"
 #include "apps/cholesky.hh"
 #include "apps/fft.hh"
+#include "apps/hashjoin.hh"
+#include "apps/kvstore.hh"
+#include "apps/logappend.hh"
 #include "apps/lu.hh"
 #include "apps/matmul.hh"
 #include "apps/mp3d.hh"
@@ -15,38 +19,99 @@
 namespace psim::apps
 {
 
+namespace
+{
+
+template <typename W>
+std::unique_ptr<Workload>
+construct(unsigned scale)
+{
+    return std::make_unique<W>(scale);
+}
+
+/**
+ * The single source of truth for every workload: name, factory, and
+ * suite membership. makeWorkload(), paperWorkloads(), and
+ * serverWorkloads() all derive from this table, so adding a workload
+ * is one line and the lists cannot drift apart. The paper's six are
+ * listed first, in the paper's table order (the order the filtered
+ * paperWorkloads() list inherits).
+ */
+struct Entry
+{
+    const char *name;
+    std::unique_ptr<Workload> (*make)(unsigned scale);
+    bool paper;  ///< one of the paper's six applications
+    bool server; ///< member of the server request-driven suite
+};
+
+constexpr Entry kRegistry[] = {
+    {"mp3d", construct<Mp3dWorkload>, true, false},
+    {"cholesky", construct<CholeskyWorkload>, true, false},
+    {"water", construct<WaterWorkload>, true, false},
+    {"lu", construct<LuWorkload>, true, false},
+    {"ocean", construct<OceanWorkload>, true, false},
+    {"pthor", construct<PthorWorkload>, true, false},
+    {"matmul", construct<MatmulWorkload>, false, false},
+    {"fft", construct<FftWorkload>, false, false},
+    {"radix", construct<RadixWorkload>, false, false},
+    {"barnes", construct<BarnesWorkload>, false, false},
+    {"kvstore", construct<KvStoreWorkload>, false, true},
+    {"hashjoin", construct<HashJoinWorkload>, false, true},
+    {"bfs", construct<BfsWorkload>, false, true},
+    {"logappend", construct<LogAppendWorkload>, false, true},
+};
+
+std::string
+knownNames()
+{
+    std::string names;
+    for (const Entry &e : kRegistry) {
+        if (!names.empty())
+            names += ", ";
+        names += e.name;
+    }
+    return names;
+}
+
+} // namespace
+
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name, unsigned scale)
 {
-    if (name == "lu")
-        return std::make_unique<LuWorkload>(scale);
-    if (name == "matmul")
-        return std::make_unique<MatmulWorkload>(scale);
-    if (name == "fft")
-        return std::make_unique<FftWorkload>(scale);
-    if (name == "radix")
-        return std::make_unique<RadixWorkload>(scale);
-    if (name == "barnes")
-        return std::make_unique<BarnesWorkload>(scale);
-    if (name == "mp3d")
-        return std::make_unique<Mp3dWorkload>(scale);
-    if (name == "cholesky")
-        return std::make_unique<CholeskyWorkload>(scale);
-    if (name == "water")
-        return std::make_unique<WaterWorkload>(scale);
-    if (name == "ocean")
-        return std::make_unique<OceanWorkload>(scale);
-    if (name == "pthor")
-        return std::make_unique<PthorWorkload>(scale);
-    psim_fatal("unknown workload '%s'", name.c_str());
+    for (const Entry &e : kRegistry) {
+        if (name == e.name)
+            return e.make(scale);
+    }
+    psim_fatal("unknown workload '%s' (known: %s)", name.c_str(),
+               knownNames().c_str());
 }
 
 const std::vector<std::string> &
 paperWorkloads()
 {
-    static const std::vector<std::string> names = {
-        "mp3d", "cholesky", "water", "lu", "ocean", "pthor",
-    };
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const Entry &e : kRegistry) {
+            if (e.paper)
+                v.emplace_back(e.name);
+        }
+        return v;
+    }();
+    return names;
+}
+
+const std::vector<std::string> &
+serverWorkloads()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const Entry &e : kRegistry) {
+            if (e.server)
+                v.emplace_back(e.name);
+        }
+        return v;
+    }();
     return names;
 }
 

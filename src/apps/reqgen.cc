@@ -1,0 +1,127 @@
+#include "apps/reqgen.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace psim::apps
+{
+
+namespace
+{
+
+/** splitmix64-style finalizer mixing the (seed, thread, index) tuple
+ *  into one Rng seed. Every bit of every input reaches every bit of
+ *  the output, so adjacent request indices share nothing. */
+std::uint64_t
+mixSeed(std::uint64_t seed, unsigned thread, std::uint64_t r)
+{
+    std::uint64_t z = seed;
+    z ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(thread) + 1);
+    z ^= 0xbf58476d1ce4e5b9ULL * (r + 1);
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+double
+ZipfSampler::zeta(std::uint64_t n, double theta)
+{
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : _n(n), _theta(theta)
+{
+    psim_assert(n >= 1, "Zipf sampler over an empty rank space");
+    psim_assert(theta >= 0.0 && theta < 1.0,
+                "Zipf skew theta must be in [0, 1), got %f", theta);
+    _zetan = zeta(n, theta);
+    _alpha = 1.0 / (1.0 - theta);
+    const double zeta2 = zeta(n < 2 ? n : 2, theta);
+    // eta's denominator is 0 only when n == 1 (zeta2 == zetan); then
+    // every draw returns rank 0 and eta is never used.
+    _eta = n < 2 ? 1.0
+                 : (1.0 - std::pow(2.0 / static_cast<double>(n),
+                                   1.0 - theta)) /
+                           (1.0 - zeta2 / _zetan);
+}
+
+std::uint64_t
+ZipfSampler::sample(double u) const
+{
+    const double uz = u * _zetan;
+    if (uz < 1.0 || _n == 1)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, _theta))
+        return 1;
+    auto rank = static_cast<std::uint64_t>(
+            static_cast<double>(_n) *
+            std::pow(_eta * u - _eta + 1.0, _alpha));
+    return rank >= _n ? _n - 1 : rank;
+}
+
+std::uint64_t
+scrambleRank(std::uint64_t rank, std::uint64_t keys)
+{
+    psim_assert(keys != 0 && (keys & (keys - 1)) == 0,
+                "key space must be a power of two, got %llu",
+                static_cast<unsigned long long>(keys));
+    // Multiplication by an odd constant is invertible mod 2^k, so this
+    // permutes [0, keys) (rank < keys by construction).
+    return (rank * 0x9e3779b97f4a7c15ULL) & (keys - 1);
+}
+
+RequestGen::RequestGen(const ReqGenParams &params, const ZipfSampler &zipf)
+    : _p(params), _zipf(zipf)
+{
+    psim_assert(_zipf.n() == _p.keys,
+                "Zipf sampler covers %llu ranks but the key space has "
+                "%llu keys",
+                static_cast<unsigned long long>(_zipf.n()),
+                static_cast<unsigned long long>(_p.keys));
+    psim_assert(_p.writeFraction >= 0.0 && _p.writeFraction <= 1.0,
+                "write fraction must be in [0, 1]");
+}
+
+Request
+RequestGen::compute(std::uint64_t r) const
+{
+    Rng rng(mixSeed(_p.seed, _p.thread, r));
+    Request q;
+    q.key = scrambleRank(_zipf.sample(rng.real()), _p.keys);
+    q.op = rng.real() < _p.writeFraction ? Request::Op::Write
+                                         : Request::Op::Read;
+    if (_p.interArrival > 0) {
+        // Uniform integer gap in [1, 2*interArrival - 1], mean
+        // interArrival. Integer-only: the gap never touches libm.
+        q.think = 1 + static_cast<Tick>(
+                          rng.next() % (2 * _p.interArrival - 1));
+    }
+    return q;
+}
+
+Request
+RequestGen::at(std::uint64_t r) const
+{
+    Request q = compute(r);
+    // Determinism contract (asserted here, in the generator, so any
+    // violation fails at the source rather than as a golden-snapshot
+    // diff): a request is a pure function of (seed, thread, index).
+    // Hidden mutable state, machine clocks, or address-dependent
+    // hashing would make the recomputation diverge.
+    psim_assert(compute(r) == q,
+                "request generator is impure: request %llu of thread %u "
+                "changed between two computations",
+                static_cast<unsigned long long>(r), _p.thread);
+    return q;
+}
+
+} // namespace psim::apps

@@ -75,13 +75,19 @@ class Workload
     std::vector<std::unique_ptr<ThreadCtx>> _ctxs;
 };
 
-/** Construct a workload by name: mp3d, cholesky, water, lu, ocean,
- *  pthor, matmul. */
+/**
+ * Construct a workload by name (see the registry table in
+ * src/apps/registry.cc); unknown names are fatal and the message
+ * lists every valid name.
+ */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        unsigned scale = 1);
 
 /** The six applications of the paper, in its table order. */
 const std::vector<std::string> &paperWorkloads();
+
+/** The server request-driven suite: kvstore, hashjoin, bfs, logappend. */
+const std::vector<std::string> &serverWorkloads();
 
 } // namespace psim::apps
 

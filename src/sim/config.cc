@@ -79,6 +79,9 @@ MachineConfig::validate() const
         psim_fatal("degree of prefetching must be >= 1");
     if (flitBits % 8 != 0)
         psim_fatal("flit size must be whole bytes");
+    if (!(server.zipfTheta >= 0.0 && server.zipfTheta < 1.0))
+        psim_fatal("server.zipfTheta %f is outside [0, 1)",
+                   server.zipfTheta);
 }
 
 unsigned

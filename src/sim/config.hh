@@ -97,6 +97,35 @@ struct TestHooks
     unsigned allowPageCrossPeriod = 0;
 };
 
+/**
+ * Knobs for the server workload suite (kvstore, hashjoin, bfs,
+ * logappend): the request-driven front end layered on the paper's
+ * machine. All requests are pure functions of (seed, thread, request
+ * index) -- see src/apps/reqgen.hh -- so these knobs, not wall-clock
+ * or machine state, fully determine every stream.
+ */
+struct ServerConfig
+{
+    /**
+     * Zipf skew of key popularity, in [0, 1): 0 is uniform, 0.99 is
+     * YCSB's default hot-key skew.
+     */
+    double zipfTheta = 0.99;
+
+    /**
+     * Per-thread request count (kvstore/hashjoin/logappend) or query
+     * count (bfs). 0 picks each workload's scale-dependent default.
+     */
+    std::uint64_t requests = 0;
+
+    /**
+     * Mean open-loop inter-arrival think gap in pclocks. The actual
+     * gap per request is uniform in [1, 2*interArrival - 1]; 0
+     * disables arrival gaps entirely (closed-loop saturation).
+     */
+    Tick interArrival = 16;
+};
+
 struct MachineConfig
 {
     /** Number of processing nodes; paper: 16 (4x4 mesh). */
@@ -226,6 +255,10 @@ struct MachineConfig
     // ---- Prefetching ----
 
     PrefetchConfig prefetch;
+
+    // ---- Server workload suite ----
+
+    ServerConfig server;
 
     /** PRNG seed so runs are reproducible. */
     std::uint64_t seed = 12345;

@@ -310,6 +310,14 @@ applyConfigKey(MachineConfig &cfg, const std::string &key,
         cfg.prefetch.lookaheadStrides = u32();
     else if (key == "prefetch.adaptiveWindow")
         cfg.prefetch.adaptiveWindow = u32();
+    // Server workload suite.
+    else if (key == "server.zipfTheta")
+        cfg.server.zipfTheta = value.asNumber(ctx);
+    else if (key == "server.requests")
+        cfg.server.requests = value.asUnsigned(
+                ctx, std::numeric_limits<std::uint64_t>::max());
+    else if (key == "server.interArrival")
+        cfg.server.interArrival = tick();
     else if (key == "seed")
         cfg.seed = value.asUnsigned(
                 ctx, std::numeric_limits<std::uint64_t>::max());

@@ -271,6 +271,23 @@ TEST(ShardedMachine, StatsByteIdenticalAcrossShardCounts)
     }
 }
 
+TEST(ShardedMachine, ServerWorkloadsByteIdenticalAcrossShardCounts)
+{
+    // The request-driven server suite: open-loop arrival gaps and
+    // Zipf-skewed sharing must not introduce any shard-count
+    // dependence. --shards 1 is the reference ordering; 4 and 8 must
+    // reproduce its stats byte-for-byte.
+    for (const char *name : {"kvstore", "hashjoin", "bfs", "logappend"}) {
+        std::string ref = statsAtShards(name, 1, PrefetchScheme::IDet);
+        ASSERT_FALSE(ref.empty());
+        for (unsigned shards : {4u, 8u}) {
+            EXPECT_EQ(ref, statsAtShards(name, shards,
+                                         PrefetchScheme::IDet))
+                    << name << " diverged at shards=" << shards;
+        }
+    }
+}
+
 TEST(ShardedMachine, StatsByteIdenticalAt64Nodes)
 {
     std::string s1 = statsAtShards("lu", 1, PrefetchScheme::Sequential,

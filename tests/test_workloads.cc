@@ -56,21 +56,41 @@ TEST(Workloads, RadixGeometry)
 
 TEST(Workloads, AllWorkloadsExposeDistinctNames)
 {
-    const char *names[] = {"mp3d", "cholesky", "water",  "lu",
-                           "ocean", "pthor",   "matmul", "fft",
-                           "radix", "barnes"};
+    const char *names[] = {"mp3d",   "cholesky", "water",    "lu",
+                           "ocean",  "pthor",    "matmul",   "fft",
+                           "radix",  "barnes",   "kvstore",  "hashjoin",
+                           "bfs",    "logappend"};
     for (const char *n : names) {
         auto wl = makeWorkload(n);
         EXPECT_STREQ(wl->name(), n);
     }
 }
 
+TEST(Workloads, RegistryListsPartitionTheTable)
+{
+    // paperWorkloads() carries the six paper applications in paper
+    // order; serverWorkloads() carries the request-driven suite. The
+    // two lists must be disjoint and every name constructible.
+    const auto &paper = paperWorkloads();
+    const auto &server = serverWorkloads();
+    ASSERT_EQ(paper.size(), 6u);
+    EXPECT_EQ(paper.front(), "mp3d");
+    ASSERT_EQ(server.size(), 4u);
+    EXPECT_EQ(server.front(), "kvstore");
+    for (const auto &p : paper)
+        for (const auto &s : server)
+            EXPECT_NE(p, s);
+    for (const auto &n : server)
+        EXPECT_STREQ(makeWorkload(n)->name(), n.c_str());
+}
+
 TEST(Workloads, ScaleParameterGrowsEveryApp)
 {
     // scale=2 must mean more total work for every registered app.
-    const char *names[] = {"mp3d", "cholesky", "water", "lu",
-                           "ocean", "pthor", "matmul", "fft",
-                           "radix", "barnes"};
+    const char *names[] = {"mp3d",  "cholesky", "water",   "lu",
+                           "ocean", "pthor",    "matmul",  "fft",
+                           "radix", "barnes",   "kvstore", "hashjoin",
+                           "bfs",   "logappend"};
     MachineConfig cfg;
     cfg.numProcs = 4;
     for (const char *n : names) {
@@ -89,7 +109,8 @@ TEST(Workloads, SynchronizationIsActuallyExercised)
     MachineConfig cfg;
     cfg.numProcs = 4;
     // Barrier-heavy apps must run barrier episodes; PTHOR also locks.
-    for (const char *n : {"lu", "ocean", "water", "fft", "radix"}) {
+    for (const char *n : {"lu", "ocean", "water", "fft", "radix",
+                          "kvstore", "hashjoin", "bfs", "logappend"}) {
         psim::apps::Run run = runWorkload(n, cfg);
         ASSERT_TRUE(run.finished) << n;
         double barriers = 0;
@@ -106,7 +127,8 @@ TEST(Workloads, WritesAreOwnerPartitioned)
     // quiesces with a consistent directory for each app at 4 procs.
     MachineConfig cfg;
     cfg.numProcs = 4;
-    for (const char *n : {"mp3d", "pthor", "barnes", "radix"}) {
+    for (const char *n : {"mp3d", "pthor", "barnes", "radix",
+                          "kvstore", "hashjoin", "bfs", "logappend"}) {
         psim::apps::Run run = runWorkload(n, cfg);
         ASSERT_TRUE(run.finished) << n;
         run.machine->checkCoherenceInvariants();
