@@ -276,6 +276,17 @@ renderServerFig6(const Spec &s, const Results &r)
                      "(16 procs, infinite SLC, d = 1)");
 }
 
+// ---- Extension: next-generation schemes over the server suite ----
+
+void
+renderNextgen(const Spec &s, const Results &r)
+{
+    renderSchemeGrid(s, r,
+                     "Extension: pointer-chase, multi-stride and "
+                     "perceptron-filtered prefetching on the server "
+                     "suite (16 procs, infinite SLC, d = 1)");
+}
+
 // ---- Ablation: block size ----
 
 void
@@ -537,6 +548,7 @@ constexpr Entry kRenderers[] = {
     {"extension_adaptive", renderAdaptive},
     {"extension_lookahead", renderLookahead},
     {"extension_protocol", renderProtocol},
+    {"extension_nextgen", renderNextgen},
     {"sensitivity_arch", renderSensitivity},
     {"none", renderNone},
 };

@@ -16,9 +16,10 @@ const std::vector<PrefetchScheme> &
 fuzzSchemes()
 {
     static const std::vector<PrefetchScheme> schemes = {
-        PrefetchScheme::None,       PrefetchScheme::Sequential,
-        PrefetchScheme::IDet,       PrefetchScheme::DDet,
-        PrefetchScheme::Adaptive,
+        PrefetchScheme::None,        PrefetchScheme::Sequential,
+        PrefetchScheme::IDet,        PrefetchScheme::DDet,
+        PrefetchScheme::Adaptive,    PrefetchScheme::MultiStride,
+        PrefetchScheme::PtrChase,    PrefetchScheme::Perceptron,
     };
     return schemes;
 }

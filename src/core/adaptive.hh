@@ -79,8 +79,10 @@ class AdaptiveSequentialPrefetcher : public Prefetcher
     }
 
     void
-    notePrefetchOutcome(bool useful, bool late = false) override
+    notePrefetchOutcome(bool useful, bool late = false,
+                        Addr blk_addr = 0) override
     {
+        (void)blk_addr;
         if (useful)
             ++_usefulInWindow;
         if (useful && late)

@@ -30,13 +30,29 @@
 namespace psim
 {
 
-/** One read request presented to the SLC. */
+/**
+ * One read request presented to the SLC.
+ *
+ * Schemes that return true from Prefetcher::wantsBlockContent()
+ * additionally receive (a) a whole-block content view on hits and
+ * fills, and (b) synthesized observations (fill = true) when a read or
+ * prefetch transaction completes -- the only two points where the
+ * functional block content is coherence-stable, so reading it cannot
+ * race with a concurrent writer under the sharded engine. Schemes that
+ * do not ask for content never see fill observations and behave
+ * byte-identically to earlier releases.
+ */
 struct ReadObservation
 {
     Pc pc = 0;             ///< PC of the load (I-detection uses it)
     Addr addr = 0;         ///< byte address requested
     bool hit = false;      ///< SLC hit?
     bool taggedHit = false; ///< hit on a block whose prefetch bit was set
+    bool fill = false;     ///< synthesized at transaction fill time
+    bool prefetchFill = false; ///< fill of a prefetch no demand touched
+    /** Whole-block functional content, or null when not captured. */
+    const std::uint8_t *content = nullptr;
+    unsigned contentLen = 0;   ///< bytes behind content (the block size)
 };
 
 class Prefetcher
@@ -57,14 +73,16 @@ class Prefetcher
      * @p useful when a demand access consumed it (@p late when the
      * consumer had to wait because the prefetch was still in flight),
      * not useful when it was invalidated, replaced or aged out still
-     * unreferenced. Adaptive schemes use this; the fixed schemes
-     * ignore it.
+     * unreferenced. @p blk_addr names the prefetched block so filters
+     * can credit the candidate that produced it. Adaptive schemes use
+     * this; the fixed schemes ignore it.
      */
     virtual void
-    notePrefetchOutcome(bool useful, bool late = false)
+    notePrefetchOutcome(bool useful, bool late = false, Addr blk_addr = 0)
     {
         (void)useful;
         (void)late;
+        (void)blk_addr;
     }
 
     /**
@@ -74,6 +92,14 @@ class Prefetcher
      * the accounting without ever changing behaviour.
      */
     virtual bool wantsOutcomeFeedback() const { return false; }
+
+    /**
+     * Does this scheme want the block-content view (and the synthesized
+     * fill observations) described on ReadObservation? The cache only
+     * captures content -- a backing-store read per observation -- for
+     * schemes that do.
+     */
+    virtual bool wantsBlockContent() const { return false; }
 
     /** Scheme name as used in the paper's figures. */
     virtual const char *name() const = 0;

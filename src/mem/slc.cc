@@ -24,6 +24,9 @@ Slc::Slc(Machine &m, NodeId id, Flc &flc, Cpu &cpu)
 {
     if (audit::MachineAudit *a = m.auditor())
         _audit = &a->node(id);
+    _wantContent = _prefetcher->wantsBlockContent();
+    if (_wantContent)
+        _contentBuf.resize(m.cfg().blockSize);
 }
 
 Slc::Mshr *
@@ -224,7 +227,7 @@ Slc::processRead(Addr addr, Pc pc)
             switch (e->kind) {
               case Mshr::Kind::Prefetch:
                 ++pfUsefulLate;
-                _prefetcher->notePrefetchOutcome(true, true);
+                _prefetcher->notePrefetchOutcome(true, true, blk_addr);
                 e->demandWaiting = true;
                 e->demandAddr = addr;
                 if (_audit) {
@@ -274,6 +277,16 @@ Slc::processRead(Addr addr, Pc pc)
     obs.addr = addr;
     obs.hit = hit;
     obs.taggedHit = tagged;
+    if (_wantContent && hit) {
+        // A valid copy pins the block's coherence epoch: no writer can
+        // be granted ownership before our InvAck, so reading the
+        // functional words here is race-free and deterministic even
+        // under the sharded engine.
+        _m.store().read(blk_addr, _contentBuf.data(),
+                        cfg.blockSize);
+        obs.content = _contentBuf.data();
+        obs.contentLen = cfg.blockSize;
+    }
     _prefetcher->observeRead(obs, _candidateBuf);
     if (!_candidateBuf.empty())
         maybePrefetch(addr, pc, _candidateBuf);
@@ -441,7 +454,7 @@ Slc::reportOutcome(CacheBlk *blk, bool useful)
     if (blk->outcomeReported)
         return;
     blk->outcomeReported = true;
-    _prefetcher->notePrefetchOutcome(useful);
+    _prefetcher->notePrefetchOutcome(useful, false, blk->addr);
 }
 
 void
@@ -581,6 +594,17 @@ Slc::handleFill(const Message &m, bool exclusive)
         frame->prefetched = true;
     }
 
+    // Content-directed schemes see every read/prefetch fill as a
+    // synthesized observation (the fill data is the whole point).
+    // Captured before the branches below erase the MSHR; skipped when
+    // an invalidation passed the transaction in flight -- our InvAck
+    // may already have admitted a remote writer, so the words are not
+    // coherence-stable (see Mshr::invFlight).
+    bool fill_observe = _wantContent && !e->invFlight &&
+                        e->kind != Mshr::Kind::Write;
+    Pc fill_pc = e->pc;
+    Addr fill_addr = e->demandWaiting ? e->demandAddr : blk_addr;
+
     if (e->demandWaiting) {
         Addr daddr = e->demandAddr;
         _eq.scheduleIn(cfg.slcToCpuLat,
@@ -658,6 +682,21 @@ Slc::handleFill(const Message &m, bool exclusive)
 
     --_slwbOcc;
     _mshrs.erase(blk_addr);
+
+    if (fill_observe) {
+        _m.store().read(blk_addr, _contentBuf.data(), cfg.blockSize);
+        _candidateBuf.clear();
+        ReadObservation obs;
+        obs.pc = fill_pc;
+        obs.addr = fill_addr;
+        obs.fill = true;
+        obs.prefetchFill = is_pure_prefetch;
+        obs.content = _contentBuf.data();
+        obs.contentLen = cfg.blockSize;
+        _prefetcher->observeRead(obs, _candidateBuf);
+        if (!_candidateBuf.empty())
+            maybePrefetch(fill_addr, fill_pc, _candidateBuf);
+    }
 }
 
 void
@@ -753,6 +792,8 @@ Slc::receive(const Message &m)
       }
       case MsgType::InvReq: {
         ++invalidationsRecv;
+        if (Mshr *e = findMshr(m.addr))
+            e->invFlight = true;
         if (CacheBlk *blk = _array.find(m.addr))
             invalidateBlock(blk, false);
         Message ack;

@@ -148,6 +148,14 @@ class Slc
         Addr demandAddr = 0;     ///< byte address the processor wanted
         bool demandWaiting = false;
         bool upgrade = false;    ///< Write entry issued as UpgradeReq
+        /**
+         * An invalidation arrived while this transaction was in
+         * flight. Our InvAck may already have let a remote writer
+         * proceed, so the eventual fill's functional content is not
+         * coherence-stable; content-directed schemes must not read it
+         * (the data is stale for them anyway).
+         */
+        bool invFlight = false;
         unsigned pendingStores = 0;
         unsigned deferredStores = 0; ///< stores arriving during a read
     };
@@ -214,6 +222,14 @@ class Slc
     std::unordered_map<Addr, Gone> _history;
 
     std::vector<Addr> _candidateBuf; ///< scratch, avoids allocation
+
+    /**
+     * Does the attached scheme want the block-content view? Cached at
+     * construction; when false the content path costs nothing and the
+     * observation stream is byte-identical to earlier releases.
+     */
+    bool _wantContent = false;
+    std::vector<std::uint8_t> _contentBuf; ///< scratch, one block
 
 #ifdef PSIM_TEST_HOOKS
     /** Fault-hook opportunity counter (TestHooks::allowPageCrossPeriod). */

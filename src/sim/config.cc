@@ -9,42 +9,73 @@
 namespace psim
 {
 
+namespace
+{
+
+/**
+ * The one scheme registry: display name (toString / the paper figures)
+ * plus every accepted spelling. parseScheme, toString and schemeNames
+ * all read this table, so a new scheme added here is parseable,
+ * printable and listed in error messages at once.
+ */
+struct SchemeName
+{
+    PrefetchScheme scheme;
+    const char *display;            ///< toString() / figure label
+    const char *aliases[3];         ///< accepted parse spellings
+};
+
+constexpr SchemeName kSchemeNames[] = {
+    {PrefetchScheme::None, "baseline", {"none", "baseline", nullptr}},
+    {PrefetchScheme::Sequential, "seq", {"seq", "sequential", nullptr}},
+    {PrefetchScheme::IDet, "i-det", {"idet", "i-det", nullptr}},
+    {PrefetchScheme::DDet, "d-det", {"ddet", "d-det", nullptr}},
+    {PrefetchScheme::Adaptive, "adaptive",
+     {"adaptive", "adaptive-seq", nullptr}},
+    {PrefetchScheme::IDetLookahead, "i-det-la",
+     {"idet-la", "i-det-la", "lookahead"}},
+    {PrefetchScheme::MultiStride, "m-stride",
+     {"mstride", "m-stride", "multi-stride"}},
+    {PrefetchScheme::PtrChase, "chase",
+     {"chase", "ptr-chase", "pointer-chase"}},
+    {PrefetchScheme::Perceptron, "ptron", {"ptron", "perceptron", nullptr}},
+};
+
+} // namespace
+
 const char *
 toString(PrefetchScheme s)
 {
-    switch (s) {
-      case PrefetchScheme::None:
-        return "baseline";
-      case PrefetchScheme::Sequential:
-        return "seq";
-      case PrefetchScheme::IDet:
-        return "i-det";
-      case PrefetchScheme::DDet:
-        return "d-det";
-      case PrefetchScheme::Adaptive:
-        return "adaptive";
-      case PrefetchScheme::IDetLookahead:
-        return "i-det-la";
+    for (const SchemeName &e : kSchemeNames) {
+        if (e.scheme == s)
+            return e.display;
     }
     return "?";
+}
+
+std::string
+schemeNames()
+{
+    std::string out;
+    for (const SchemeName &e : kSchemeNames) {
+        if (!out.empty())
+            out += ", ";
+        out += e.aliases[0];
+    }
+    return out;
 }
 
 PrefetchScheme
 parseScheme(const std::string &name)
 {
-    if (name == "none" || name == "baseline")
-        return PrefetchScheme::None;
-    if (name == "seq" || name == "sequential")
-        return PrefetchScheme::Sequential;
-    if (name == "idet" || name == "i-det")
-        return PrefetchScheme::IDet;
-    if (name == "ddet" || name == "d-det")
-        return PrefetchScheme::DDet;
-    if (name == "adaptive" || name == "adaptive-seq")
-        return PrefetchScheme::Adaptive;
-    if (name == "idet-la" || name == "i-det-la" || name == "lookahead")
-        return PrefetchScheme::IDetLookahead;
-    psim_fatal("unknown prefetch scheme '%s'", name.c_str());
+    for (const SchemeName &e : kSchemeNames) {
+        for (const char *alias : e.aliases) {
+            if (alias && name == alias)
+                return e.scheme;
+        }
+    }
+    psim_fatal("unknown prefetch scheme '%s' (valid: %s)", name.c_str(),
+               schemeNames().c_str());
 }
 
 bool
@@ -77,6 +108,28 @@ MachineConfig::validate() const
         psim_fatal("write buffers need at least one entry");
     if (prefetch.degree == 0)
         psim_fatal("degree of prefetching must be >= 1");
+    if (prefetch.mstrideWays == 0 || prefetch.mstrideWays > 8)
+        psim_fatal("mstrideWays %u is outside [1, 8]",
+                   prefetch.mstrideWays);
+    if (prefetch.mstrideConf == 0)
+        psim_fatal("mstrideConf must be >= 1");
+    if (prefetch.chaseDepth == 0)
+        psim_fatal("chaseDepth must be >= 1");
+    if (prefetch.chaseEntries == 0 || !isPowerOf2(prefetch.chaseEntries))
+        psim_fatal("chaseEntries %u is not a power of two",
+                   prefetch.chaseEntries);
+    // Wrapper schemes (chase, ptron) compose a conventional base; the
+    // base must itself be a non-wrapper scheme or construction would
+    // recurse.
+    auto isWrapper = [](PrefetchScheme s) {
+        return s == PrefetchScheme::PtrChase ||
+               s == PrefetchScheme::Perceptron;
+    };
+    if (isWrapper(prefetch.chaseBase))
+        psim_fatal("chaseBase must be a non-wrapper scheme, not '%s'",
+                   toString(prefetch.chaseBase));
+    if (prefetch.ptronBase == PrefetchScheme::Perceptron)
+        psim_fatal("ptronBase must not itself be the perceptron filter");
     if (flitBits % 8 != 0)
         psim_fatal("flit size must be whole bytes");
     if (!(server.zipfTheta >= 0.0 && server.zipfTheta < 1.0))

@@ -28,13 +28,31 @@ enum class PrefetchScheme
     DDet,       ///< Hagersten data-address stride detection
     Adaptive,   ///< sequential with usefulness-adapted degree (Sec. 6)
     IDetLookahead, ///< Baer/Chen lookahead-PC stride scheme (Sec. 6)
+    MultiStride, ///< RPT tracking several concurrent strides per PC
+    PtrChase,   ///< content-directed pointer/index chase over a base scheme
+    Perceptron, ///< perceptron-gated filter wrapping a base scheme
 };
 
 /** Human-readable scheme name as used in the paper's figures. */
 const char *toString(PrefetchScheme s);
 
-/** Parse a scheme name ("none", "seq", "idet", "ddet"). */
+/**
+ * Parse a scheme name. Accepts every canonical name and alias from the
+ * scheme registry (see kSchemeNames in config.cc); schemeNames() prints
+ * the same set. Currently: "none"/"baseline", "seq"/"sequential",
+ * "idet"/"i-det", "ddet"/"d-det", "adaptive"/"adaptive-seq",
+ * "idet-la"/"i-det-la"/"lookahead", "mstride"/"m-stride"/"multi-stride",
+ * "chase"/"ptr-chase"/"pointer-chase", "ptron"/"perceptron".
+ * Unknown names are fatal and list the valid set.
+ */
 PrefetchScheme parseScheme(const std::string &name);
+
+/**
+ * Comma-separated list of every canonical scheme name, generated from
+ * the same registry parseScheme() and toString() use (error messages,
+ * usage strings).
+ */
+std::string schemeNames();
 
 /**
  * Default for MachineConfig::audit: true when the build has the audit
@@ -74,6 +92,37 @@ struct PrefetchConfig
 
     /** Prefetch outcomes per adaptation decision (adaptive scheme). */
     unsigned adaptiveWindow = 16;
+
+    // ---- Post-paper schemes (ROADMAP item 2) ----
+
+    /** Concurrent (stride, confidence) ways per PC (multi-stride RPT). */
+    unsigned mstrideWays = 4;
+
+    /** Confidence a way needs before its stride is prefetched. */
+    unsigned mstrideConf = 2;
+
+    /**
+     * Maximum chained prefetch-fill depth for the pointer-chase scheme:
+     * 1 chases only from demand-visible blocks, d allows a prefetched
+     * block's content to trigger further chases d - 1 more times.
+     */
+    unsigned chaseDepth = 2;
+
+    /** Indirect-pattern table entries (pointer-chase), power of two. */
+    unsigned chaseEntries = 64;
+
+    /**
+     * Conventional scheme the chase prefetcher runs on top of --
+     * content-directed candidates augment, not replace, a streaming
+     * scheme. Must not itself be a wrapper scheme.
+     */
+    PrefetchScheme chaseBase = PrefetchScheme::Sequential;
+
+    /** Scheme whose candidates the perceptron filter gates. */
+    PrefetchScheme ptronBase = PrefetchScheme::Sequential;
+
+    /** Perceptron training threshold (weights train while |sum| <= theta). */
+    unsigned ptronTheta = 8;
 };
 
 /**

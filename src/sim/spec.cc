@@ -310,6 +310,20 @@ applyConfigKey(MachineConfig &cfg, const std::string &key,
         cfg.prefetch.lookaheadStrides = u32();
     else if (key == "prefetch.adaptiveWindow")
         cfg.prefetch.adaptiveWindow = u32();
+    else if (key == "prefetch.mstrideWays")
+        cfg.prefetch.mstrideWays = u32();
+    else if (key == "prefetch.mstrideConf")
+        cfg.prefetch.mstrideConf = u32();
+    else if (key == "prefetch.chaseDepth")
+        cfg.prefetch.chaseDepth = u32();
+    else if (key == "prefetch.chaseEntries")
+        cfg.prefetch.chaseEntries = u32();
+    else if (key == "prefetch.chaseBase")
+        cfg.prefetch.chaseBase = parseScheme(value.asString(ctx));
+    else if (key == "prefetch.ptronBase")
+        cfg.prefetch.ptronBase = parseScheme(value.asString(ctx));
+    else if (key == "prefetch.ptronTheta")
+        cfg.prefetch.ptronTheta = u32();
     // Server workload suite.
     else if (key == "server.zipfTheta")
         cfg.server.zipfTheta = value.asNumber(ctx);

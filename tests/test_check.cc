@@ -293,9 +293,10 @@ TEST(FuzzRun, PageRuleHoldsForEverySchemeAndStrideSign)
     spec.phases = {up, down, blocky};
 
     const PrefetchScheme schemes[] = {
-        PrefetchScheme::Sequential, PrefetchScheme::IDet,
-        PrefetchScheme::DDet,       PrefetchScheme::Adaptive,
-        PrefetchScheme::IDetLookahead,
+        PrefetchScheme::Sequential,  PrefetchScheme::IDet,
+        PrefetchScheme::DDet,        PrefetchScheme::Adaptive,
+        PrefetchScheme::IDetLookahead, PrefetchScheme::MultiStride,
+        PrefetchScheme::PtrChase,    PrefetchScheme::Perceptron,
     };
     for (PrefetchScheme s : schemes) {
         SchemeRun run = runOneScheme(spec, s, TestHooks{}, 50'000'000);

@@ -68,10 +68,21 @@ TEST(Config, SchemeNamesRoundTrip)
     EXPECT_EQ(parseScheme("idet"), PrefetchScheme::IDet);
     EXPECT_EQ(parseScheme("i-det"), PrefetchScheme::IDet);
     EXPECT_EQ(parseScheme("ddet"), PrefetchScheme::DDet);
+    EXPECT_EQ(parseScheme("mstride"), PrefetchScheme::MultiStride);
+    EXPECT_EQ(parseScheme("m-stride"), PrefetchScheme::MultiStride);
+    EXPECT_EQ(parseScheme("multi-stride"), PrefetchScheme::MultiStride);
+    EXPECT_EQ(parseScheme("chase"), PrefetchScheme::PtrChase);
+    EXPECT_EQ(parseScheme("ptr-chase"), PrefetchScheme::PtrChase);
+    EXPECT_EQ(parseScheme("pointer-chase"), PrefetchScheme::PtrChase);
+    EXPECT_EQ(parseScheme("ptron"), PrefetchScheme::Perceptron);
+    EXPECT_EQ(parseScheme("perceptron"), PrefetchScheme::Perceptron);
     EXPECT_STREQ(toString(PrefetchScheme::Sequential), "seq");
     EXPECT_STREQ(toString(PrefetchScheme::IDet), "i-det");
     EXPECT_STREQ(toString(PrefetchScheme::DDet), "d-det");
     EXPECT_STREQ(toString(PrefetchScheme::None), "baseline");
+    EXPECT_STREQ(toString(PrefetchScheme::MultiStride), "m-stride");
+    EXPECT_STREQ(toString(PrefetchScheme::PtrChase), "chase");
+    EXPECT_STREQ(toString(PrefetchScheme::Perceptron), "ptron");
 }
 
 using ConfigDeath = ::testing::Test;
@@ -102,6 +113,26 @@ TEST(ConfigDeath, RejectsZeroDegree)
 
 TEST(ConfigDeath, RejectsUnknownScheme)
 {
+    // The error must name the valid schemes (one registry drives the
+    // parser, the printer and this message).
     EXPECT_EXIT(parseScheme("bogus"), ::testing::ExitedWithCode(1),
-            "unknown prefetch scheme");
+            "unknown prefetch scheme 'bogus' \\(valid: .*chase.*\\)");
+}
+
+TEST(ConfigDeath, RejectsWrapperAsChaseBase)
+{
+    MachineConfig cfg;
+    cfg.prefetch.scheme = PrefetchScheme::PtrChase;
+    cfg.prefetch.chaseBase = PrefetchScheme::PtrChase;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+            "chaseBase");
+}
+
+TEST(ConfigDeath, RejectsPerceptronAsItsOwnBase)
+{
+    MachineConfig cfg;
+    cfg.prefetch.scheme = PrefetchScheme::Perceptron;
+    cfg.prefetch.ptronBase = PrefetchScheme::Perceptron;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+            "ptronBase");
 }

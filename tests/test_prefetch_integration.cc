@@ -334,3 +334,74 @@ TEST(PrefetchIntegration, DescendingStreamsAreCovered)
     (void)sys;
     (void)top;
 }
+
+// ---- pushCandidate edge cases ----
+
+namespace
+{
+
+/** Exposes the protected candidate filter for direct testing. */
+struct PushProbe : Prefetcher
+{
+    void
+    observeRead(const ReadObservation &, std::vector<Addr> &) override
+    {
+    }
+
+    const char *name() const override { return "probe"; }
+
+    using Prefetcher::pushCandidate;
+};
+
+} // namespace
+
+TEST(PushCandidate, Int64MinOffsetDoesNotOverflowNegation)
+{
+    PushProbe p;
+    std::vector<Addr> out;
+    // Negating INT64_MIN is UB if done naively; the magnitude 2^63
+    // must still compare correctly against the base.
+    p.pushCandidate(0x1000, std::numeric_limits<std::int64_t>::min(),
+            out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_DOUBLE_EQ(p.candidatesWrapped.value(), 1.0);
+
+    // A base of exactly 2^63 makes the full down-stride legal.
+    p.pushCandidate(static_cast<Addr>(1) << 63,
+            std::numeric_limits<std::int64_t>::min(), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0u);
+    EXPECT_DOUBLE_EQ(p.candidatesWrapped.value(), 1.0);
+}
+
+TEST(PushCandidate, ZeroBaseDropsAnyDownStride)
+{
+    PushProbe p;
+    std::vector<Addr> out;
+    p.pushCandidate(0, -1, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_DOUBLE_EQ(p.candidatesWrapped.value(), 1.0);
+
+    p.pushCandidate(0, 0, out);
+    p.pushCandidate(0, 32, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 0u);
+    EXPECT_EQ(out[1], 32u);
+}
+
+TEST(PushCandidate, TopOfAddressSpaceDropsAnyUpStride)
+{
+    PushProbe p;
+    std::vector<Addr> out;
+    const Addr top = std::numeric_limits<Addr>::max();
+    p.pushCandidate(top, 1, out);
+    p.pushCandidate(top, std::numeric_limits<std::int64_t>::max(), out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_DOUBLE_EQ(p.candidatesWrapped.value(), 2.0);
+
+    p.pushCandidate(top, 0, out);
+    p.pushCandidate(top, -32, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], top);
+    EXPECT_EQ(out[1], top - 32);
+}

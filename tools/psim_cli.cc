@@ -7,7 +7,8 @@
  * Usage:
  *   psim_cli [options]
  *     --workload NAME    mp3d|cholesky|water|lu|ocean|pthor|matmul|fft
- *     --scheme NAME      none|seq|idet|ddet|adaptive|idet-la
+ *     --scheme NAME      none|seq|idet|ddet|adaptive|idet-la|
+ *                        mstride|chase|ptron (see schemeNames())
  *     --degree N         degree of prefetching (default 1)
  *     --procs N          processors (default 16)
  *     --slc BYTES        SLC size, 0 = infinite (default 0)
